@@ -1,0 +1,177 @@
+// Command mcast runs one broadcast execution and prints a run report.
+//
+// Usage:
+//
+//	mcast -alg multicast -n 256 -adv burst -budget 100000 -seed 1
+//	mcast -alg multicastadv -n 64 -trials 5
+//	mcast -alg multicast-c -n 256 -channels 8 -adv fraction -frac 0.9 -budget 50000 -trace
+//
+// Adversaries: none, burst, fraction, random, sweep, pulse, bursty,
+// targeted (phase-targeted, for MultiCastAdv), and the adaptive pair
+// reactive and camper (the §8 extension).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multicast"
+)
+
+func main() {
+	var (
+		algName  = flag.String("alg", "multicast", "algorithm: multicastcore|multicast|multicast-c|multicastadv|multicastadv-c|singlechannel")
+		n        = flag.Int("n", 256, "number of nodes (power of two)")
+		channels = flag.Int("channels", 0, "physical channels for the (C) variants")
+		advName  = flag.String("adv", "none", "adversary: none|burst|fraction|random|sweep|pulse|bursty|targeted|reactive|camper")
+		budget   = flag.Int64("budget", 0, "Eve's energy budget T")
+		frac     = flag.Float64("frac", 0.9, "jam fraction for fraction/random/pulse/targeted")
+		start    = flag.Int64("start", 0, "first jamming slot for burst")
+		width    = flag.Int("width", 8, "window width for sweep")
+		period   = flag.Int64("period", 128, "pulse period")
+		duty     = flag.Int64("duty", 64, "pulse duty slots")
+		stop     = flag.Int64("stop", 0, "stop all jamming at this slot (0 = never)")
+		targetJ  = flag.Int("target-j", -1, "phase number targeted by the targeted jammer (default lg n − 1)")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		trials   = flag.Int("trials", 1, "independent trials (parallel)")
+		maxSlots = flag.Int64("max-slots", 0, "abort after this many slots (0 = default)")
+		trace    = flag.Bool("trace", false, "print a per-1000-slot trace of the first trial")
+		curve    = flag.Bool("curve", false, "print sparkline charts of the run (informed/halted/jammed/traffic)")
+		alpha    = flag.Float64("alpha", 0, "override MultiCastAdv α (0 = preset)")
+	)
+	flag.Parse()
+
+	alg, err := multicast.ParseAlgorithm(*algName)
+	fatal(err)
+
+	params := multicast.SimParams()
+	if *alpha > 0 {
+		params.Alpha = *alpha
+	}
+
+	tj := *targetJ
+	if tj < 0 {
+		tj = lg(*n) - 1
+	}
+	var adv multicast.Adversary
+	switch *advName {
+	case "none":
+		adv = multicast.NoJammer()
+	case "burst":
+		adv = multicast.FullBurstJammer(*start)
+	case "fraction":
+		adv = multicast.FractionJammer(*frac)
+	case "random":
+		adv = multicast.RandomFractionJammer(*frac)
+	case "sweep":
+		adv = multicast.SweepJammer(*width)
+	case "pulse":
+		adv = multicast.PulseJammer(*period, *duty, *frac, *stop)
+	case "bursty":
+		adv = multicast.BurstyJammer(*frac, float64(*duty), float64(*duty))
+	case "targeted":
+		adv = multicast.PhaseTargetedJammer(params, *channels, tj, *frac)
+	case "reactive":
+		adv = multicast.ReactiveJammer(*frac)
+	case "camper":
+		adv = multicast.CamperJammer(*duty, *width*8)
+	default:
+		fatal(fmt.Errorf("unknown adversary %q", *advName))
+	}
+	if *stop > 0 && *advName != "pulse" {
+		adv = multicast.StopJammingAfter(adv, *stop)
+	}
+
+	cfg := multicast.Config{
+		N:         *n,
+		Algorithm: alg,
+		Params:    params,
+		Channels:  *channels,
+		Adversary: adv,
+		Budget:    *budget,
+		Seed:      *seed,
+		MaxSlots:  *maxSlots,
+	}
+
+	if *trace {
+		cfg.Observer = &tracer{every: 1000}
+	}
+	var rec *multicast.TraceRecorder
+	if *curve {
+		rec = multicast.NewTraceRecorder(16)
+		cfg.Observer = rec
+	}
+
+	fmt.Printf("algorithm=%s n=%d channels=%d adversary=%s budget=%d seed=%d trials=%d\n\n",
+		alg, *n, *channels, adv.Name(), *budget, *seed, *trials)
+
+	if *trials == 1 {
+		m, err := multicast.Run(cfg)
+		fatal(err)
+		report(m)
+		if rec != nil {
+			fmt.Print(multicast.TraceChart(72, rec.Informed, rec.Halted, rec.Jammed, rec.Traffic))
+		}
+		return
+	}
+	cfg.Observer = nil
+	ms, err := multicast.RunTrials(cfg, *trials)
+	fatal(err)
+	for i, m := range ms {
+		fmt.Printf("--- trial %d (seed %d) ---\n", i, *seed+uint64(i))
+		report(m)
+	}
+}
+
+func report(m multicast.Metrics) {
+	fmt.Printf("slots until all halted:   %d\n", m.Slots)
+	fmt.Printf("all informed by slot:     %d\n", m.AllInformedSlot)
+	if m.FirstHelperSlot >= 0 {
+		fmt.Printf("first helper at slot:     %d\n", m.FirstHelperSlot)
+	}
+	fmt.Printf("first halt at slot:       %d\n", m.FirstHaltSlot)
+	fmt.Printf("max node energy:          %d\n", m.MaxNodeEnergy)
+	fmt.Printf("mean node energy:         %.1f\n", m.MeanNodeEnergy)
+	fmt.Printf("source energy:            %d\n", m.SourceEnergy)
+	fmt.Printf("Eve spent:                %d\n", m.EveEnergy)
+	if m.EveEnergy > 0 {
+		fmt.Printf("competitive ratio:        %.4f (max node cost / Eve cost)\n",
+			float64(m.MaxNodeEnergy)/float64(m.EveEnergy))
+	}
+	if m.Invariants.Any() {
+		fmt.Printf("!! invariant violations:  %+v\n", m.Invariants)
+	} else {
+		fmt.Printf("safety invariants:        all hold\n")
+	}
+	fmt.Println()
+}
+
+// tracer prints a status line every `every` slots.
+type tracer struct {
+	every int64
+}
+
+func (t *tracer) Slot(slot int64, channels, jammed, listeners, broadcasters, informed, halted int) {
+	if slot%t.every != 0 {
+		return
+	}
+	fmt.Printf("slot %-10d channels=%-6d jammed=%-6d listen=%-4d bcast=%-4d informed=%-5d halted=%d\n",
+		slot, channels, jammed, listeners, broadcasters, informed, halted)
+}
+
+func lg(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcast:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+// Command mcbench regenerates the reproduction experiments (E1–E14): for
+// every theorem/lemma of the paper it runs the corresponding workload and
+// prints the measured table plus fitted scaling exponents.
+//
+// Usage:
+//
+//	mcbench -list             enumerate experiments
+//	mcbench                   run everything (can take ~10–20 minutes)
+//	mcbench -run E3,E9        run a subset
+//	mcbench -quick            trimmed sweeps (~2 minutes)
+//	mcbench -markdown         emit GitHub-flavoured markdown (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"multicast"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "", "comma-separated experiment IDs (empty = all)")
+		quick    = flag.Bool("quick", false, "trimmed parameter sweeps")
+		trials   = flag.Int("trials", 0, "override trials per data point (0 = per-experiment default)")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		csv      = flag.Bool("csv", false, "emit CSV tables (no claims/notes)")
+	)
+	flag.Parse()
+
+	all := multicast.Experiments()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	var selected []multicast.Experiment
+	if *run == "" {
+		selected = all
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := multicast.ExperimentByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mcbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := multicast.ExperimentConfig{Trials: *trials, Seed: *seed, Quick: *quick}
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		switch {
+		case *csv:
+			fmt.Printf("# %s — %s\n%s\n", res.ID, res.Title, res.CSV())
+		case *markdown:
+			fmt.Println(res.Markdown())
+		default:
+			fmt.Println(res.Render())
+		}
+		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

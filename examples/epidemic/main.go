@@ -1,0 +1,44 @@
+// Epidemic: visualise the mechanism that makes multi-channel broadcast
+// fast. With n/2 channels, every slot is n/2 parallel rendezvous attempts,
+// so the informed population grows exponentially — an S-curve — even while
+// a bursty jammer keeps knocking out most of the spectrum. The trace also
+// shows the halt wave rolling through once the noise dies down.
+//
+//	go run ./examples/epidemic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multicast"
+)
+
+func main() {
+	const n = 256
+
+	rec := multicast.NewTraceRecorder(8) // sample every 8 slots
+	m, err := multicast.Run(multicast.Config{
+		N:         n,
+		Algorithm: multicast.AlgoMultiCast,
+		Adversary: multicast.BurstyJammer(0.8, 200, 200), // microwave-oven style interference
+		Budget:    50_000,
+		Seed:      9,
+		Observer:  rec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("MultiCast, %d nodes, bursty 80%% jammer (mean burst 200 slots, T = 50k)\n\n", n)
+	fmt.Print(multicast.TraceChart(72, rec.Informed, rec.Halted, rec.Jammed, rec.Traffic))
+	fmt.Println()
+	fmt.Println("  informed: the epidemic S-curve — exponential takeoff, then saturation at n")
+	fmt.Printf("            (all %d nodes knew the message by slot %d of %d)\n", n, m.AllInformedSlot, m.Slots)
+	fmt.Println("  halted:   the termination wave; it only starts once an iteration looks quiet")
+	fmt.Println("  jammed:   Eve's bursts; each 'on' period costs her ~0.8·(n/2) energy per slot")
+	fmt.Println("  traffic:  honest activity per slot — sparse (p·n per slot), that's the energy thrift")
+	fmt.Println()
+	fmt.Printf("Eve spent %d to delay a message that cost the busiest node %d energy.\n",
+		m.EveEnergy, m.MaxNodeEnergy)
+}

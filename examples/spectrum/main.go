@@ -1,0 +1,60 @@
+// Limited spectrum: MultiCast wants n/2 channels, but real radios get C.
+// MultiCast(C) (Figure 5) simulates each n/2-channel slot in n/(2C)
+// physical slots. Sweep C and watch time trade linearly while per-node
+// energy stays put (Corollary 7.1) — "the more channels we have, the
+// faster we can be".
+//
+//	go run ./examples/spectrum
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multicast"
+)
+
+func main() {
+	const (
+		n      = 256
+		budget = 200_000
+		trials = 3
+	)
+
+	fmt.Printf("MultiCast(C) on %d nodes, full-burst jammer with T = %d\n\n", n, budget)
+	fmt.Printf("%9s  %12s  %10s  %14s\n", "channels", "slots", "T/C", "max node cost")
+
+	var baseSlots float64
+	for _, c := range []int{2, 4, 16, 64, 128} {
+		ms, err := multicast.RunTrials(multicast.Config{
+			N:         n,
+			Algorithm: multicast.AlgoMultiCastC,
+			Channels:  c,
+			Adversary: multicast.FullBurstJammer(0),
+			Budget:    budget,
+			Seed:      7,
+		}, trials)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var slots, cost float64
+		for _, m := range ms {
+			slots += float64(m.Slots)
+			cost += float64(m.MaxNodeEnergy)
+			if m.Invariants.Any() {
+				log.Fatalf("C=%d: invariant violation %+v", c, m.Invariants)
+			}
+		}
+		slots /= trials
+		cost /= trials
+		if baseSlots == 0 {
+			baseSlots = slots
+		}
+		fmt.Printf("%9d  %12.0f  %10d  %14.0f\n", c, slots, budget/int64(c), cost)
+	}
+
+	fmt.Println()
+	fmt.Println("Slots fall ~linearly with C (the Ω(T/C) lower bound is matched up to a")
+	fmt.Println("constant); the max node cost column barely moves — spectrum buys speed,")
+	fmt.Println("not battery life, exactly as Corollary 7.1 predicts.")
+}

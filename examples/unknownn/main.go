@@ -1,0 +1,67 @@
+// Unknown network size: an ad-hoc deployment where nobody knows n.
+// MultiCastAdv (Figure 4) guesses n phase by phase — phase (i,j) bets on
+// n ≈ 2^{j+1} with 2^j channels — and uses its four step-two counters to
+// certify the right guess before anyone dares to stop helping. This
+// example traces the protocol's life cycle: informed → helper → halted.
+//
+//	go run ./examples/unknownn    (takes a minute or two: the τ = Õ(n^2α)
+//	                               term of Theorem 6.10 is real work)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multicast"
+)
+
+// milestones records when each protocol stage is first reached.
+type milestones struct {
+	lastReport int64
+}
+
+func (t *milestones) Slot(slot int64, channels, jammed, listeners, broadcasters, informed, halted int) {
+	// Report on a coarse exponential grid to keep the trace short.
+	if slot < t.lastReport+t.lastReport/4+1 {
+		return
+	}
+	t.lastReport = slot
+	fmt.Printf("  slot %-10d channels=%-6d informed=%-4d halted=%d\n", slot, channels, informed, halted)
+}
+
+func main() {
+	const n = 64 // the nodes do NOT know this number
+
+	fmt.Printf("MultiCastAdv: %d nodes, none of which know n (or T)\n\n", n)
+
+	m, err := multicast.Run(multicast.Config{
+		N:         n,
+		Algorithm: multicast.AlgoMultiCastAdv,
+		Seed:      3,
+		Observer:  &milestones{},
+		MaxSlots:  1 << 27,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("life cycle (slot numbers):")
+	fmt.Println("  all informed:  ", m.AllInformedSlot, " — the message spread early, in small phases")
+	fmt.Println("  first helper:  ", m.FirstHelperSlot, " — a node certified the guess 2^{j+1} = n and stopped needing the message")
+	fmt.Println("  first halt:    ", m.FirstHaltSlot, " — after the helper gap, with a quiet phase as evidence")
+	fmt.Println("  all halted:    ", m.Slots)
+	fmt.Println()
+	fmt.Println("why so long after informing? Theorem 6.10's τ term: without knowing n,")
+	fmt.Println("nodes must keep helping until the statistics of a phase with the correct")
+	fmt.Println("guess separate from every wrong guess — that certification, not message")
+	fmt.Println("delivery, dominates the jam-free runtime.")
+
+	if m.Invariants.Any() {
+		fmt.Println("!! invariant violations:", m.Invariants)
+	} else {
+		fmt.Println()
+		fmt.Println("safety: nobody halted before everyone was informed, and nobody halted")
+		fmt.Println("before everyone reached helper status (Lemmas 6.4/6.5).")
+	}
+}

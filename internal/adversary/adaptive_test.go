@@ -1,0 +1,128 @@
+package adversary
+
+import (
+	"testing"
+
+	"multicast/internal/bitset"
+	"multicast/internal/rng"
+)
+
+func TestActivityStrings(t *testing.T) {
+	for a, want := range map[Activity]string{
+		Quiet: "quiet", Delivered: "delivered", Collided: "collided", Jammed: "jammed",
+	} {
+		if a.String() != want {
+			t.Errorf("Activity %d = %q, want %q", a, a.String(), want)
+		}
+	}
+	if Activity(9).String() == "" {
+		t.Error("unknown activity must render")
+	}
+}
+
+func TestReactiveJamsPreviouslyBusyChannels(t *testing.T) {
+	s := Reactive(1.0).New(rng.New(1)).(Adaptive)
+	// Nothing observed yet → nothing jammed.
+	mask := bitset.New(8)
+	if n := s.Fill(0, 8, mask); n != 0 {
+		t.Fatalf("reactive jammed %d channels with no history", n)
+	}
+	// Observe: channels 2 (delivered) and 5 (collided) busy; 3 jammed-only.
+	s.Observe(0, []Activity{Quiet, Quiet, Delivered, Jammed, Quiet, Collided, Quiet, Quiet})
+	mask.Reset()
+	n := s.Fill(1, 8, mask)
+	if n != 2 || !mask.Test(2) || !mask.Test(5) {
+		t.Fatalf("reactive jammed %d (%v %v), want channels 2 and 5", n, mask.Test(2), mask.Test(5))
+	}
+	// Next slot quiet → jam set empties.
+	s.Observe(1, make([]Activity, 8))
+	mask.Reset()
+	if n := s.Fill(2, 8, mask); n != 0 {
+		t.Fatalf("reactive kept jamming after a quiet slot (%d)", n)
+	}
+}
+
+func TestReactiveRespectsCap(t *testing.T) {
+	s := Reactive(0.25).New(rng.New(1)).(Adaptive)
+	act := make([]Activity, 16)
+	for i := range act {
+		act[i] = Collided
+	}
+	s.Observe(0, act)
+	mask := bitset.New(16)
+	if n := s.Fill(1, 16, mask); n != 4 {
+		t.Fatalf("reactive jammed %d of 16, cap is 25%% = 4", n)
+	}
+}
+
+func TestReactiveCopiesObservation(t *testing.T) {
+	// The engine reuses the activity buffer; the strategy must not alias it.
+	s := Reactive(1.0).New(rng.New(1)).(Adaptive)
+	act := []Activity{Delivered, Quiet}
+	s.Observe(0, act)
+	act[0] = Quiet // engine reuses the buffer
+	act[1] = Delivered
+	mask := bitset.New(2)
+	n := s.Fill(1, 2, mask)
+	if n != 1 || !mask.Test(0) {
+		t.Fatal("reactive aliased the engine's observation buffer")
+	}
+}
+
+func TestCamperDwellsAndExpires(t *testing.T) {
+	s := Camper(3, 4).New(rng.New(1)).(Adaptive)
+	s.Observe(10, []Activity{Quiet, Delivered, Quiet, Quiet})
+	for slot := int64(11); slot <= 13; slot++ {
+		mask := bitset.New(4)
+		if n := s.Fill(slot, 4, mask); n != 1 || !mask.Test(1) {
+			t.Fatalf("slot %d: camper not camping on channel 1 (n=%d)", slot, n)
+		}
+	}
+	mask := bitset.New(4)
+	if n := s.Fill(14, 4, mask); n != 0 {
+		t.Fatalf("camper did not release channel after dwell (n=%d)", n)
+	}
+}
+
+func TestCamperTracksAtMostMaxChans(t *testing.T) {
+	s := Camper(100, 2).New(rng.New(1)).(Adaptive)
+	s.Observe(0, []Activity{Delivered, Delivered, Delivered, Delivered})
+	mask := bitset.New(4)
+	if n := s.Fill(1, 4, mask); n != 2 {
+		t.Fatalf("camper tracks %d channels, cap is 2", n)
+	}
+}
+
+func TestCamperIgnoresNonDeliveries(t *testing.T) {
+	s := Camper(10, 4).New(rng.New(1)).(Adaptive)
+	s.Observe(0, []Activity{Collided, Jammed, Quiet, Quiet})
+	mask := bitset.New(4)
+	if n := s.Fill(1, 4, mask); n != 0 {
+		t.Fatalf("camper chased non-delivery activity (n=%d)", n)
+	}
+}
+
+func TestCamperValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero dwell": func() { Camper(0, 1) },
+		"zero max":   func() { Camper(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAdaptiveInterfaceAssertions(t *testing.T) {
+	var _ Adaptive = Reactive(0.5).New(rng.New(1)).(Adaptive)
+	var _ Adaptive = Camper(5, 2).New(rng.New(1)).(Adaptive)
+	// Oblivious strategies must NOT satisfy Adaptive.
+	if _, ok := BlockFraction(0.5).New(rng.New(1)).(Adaptive); ok {
+		t.Error("oblivious strategy satisfies Adaptive")
+	}
+}

@@ -1,0 +1,127 @@
+// Package bitset implements a dense bitset used for per-slot jam masks and
+// channel occupancy tracking. The simulator resolves every channel every
+// slot, so membership tests and population counts are on the hot path; the
+// representation is a plain []uint64 with no indirection.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity dense bitset. The zero value has capacity zero;
+// use New or Grow before setting bits.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns a set with capacity for n bits, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Grow ensures capacity for at least n bits, preserving contents.
+func (s *Set) Grow(n int) {
+	if n <= s.n {
+		return
+	}
+	need := (n + 63) / 64
+	if need > len(s.words) {
+		w := make([]uint64, need)
+		copy(w, s.words)
+		s.words = w
+	}
+	s.n = n
+}
+
+// Set sets bit i. It panics if i is out of range.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i. It panics if i is out of range.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Test reports whether bit i is set. It panics if i is out of range.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+}
+
+// Reset clears all bits without changing capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CountRange returns the number of set bits in [0, limit).
+// It panics if limit is out of [0, Len()].
+func (s *Set) CountRange(limit int) int {
+	if limit < 0 || limit > s.n {
+		panic("bitset: CountRange limit out of range")
+	}
+	c := 0
+	full := limit >> 6
+	for i := 0; i < full; i++ {
+		c += bits.OnesCount64(s.words[i])
+	}
+	if rem := uint(limit) & 63; rem != 0 {
+		c += bits.OnesCount64(s.words[full] & ((1 << rem) - 1))
+	}
+	return c
+}
+
+// SetRange sets all bits in [lo, hi).
+func (s *Set) SetRange(lo, hi int) {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic("bitset: SetRange bounds out of range")
+	}
+	for i := lo; i < hi; {
+		if i&63 == 0 && i+64 <= hi {
+			s.words[i>>6] = ^uint64(0)
+			i += 64
+			continue
+		}
+		s.words[i>>6] |= 1 << (uint(i) & 63)
+		i++
+	}
+}
+
+// CopyFrom makes s an exact copy of other (capacity and contents).
+func (s *Set) CopyFrom(other *Set) {
+	s.Grow(other.n)
+	s.n = other.n
+	s.words = s.words[:0]
+	s.words = append(s.words, other.words...)
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}

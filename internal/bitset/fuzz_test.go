@@ -1,0 +1,61 @@
+package bitset
+
+import "testing"
+
+// FuzzSetRange cross-checks the word-blasting SetRange against a naive
+// bit-by-bit reference.
+func FuzzSetRange(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint16(64))
+	f.Add(uint16(3), uint16(7), uint16(100))
+	f.Add(uint16(63), uint16(65), uint16(128))
+	f.Add(uint16(64), uint16(192), uint16(256))
+	f.Fuzz(func(t *testing.T, loRaw, hiRaw, nRaw uint16) {
+		n := int(nRaw)%512 + 1
+		lo := int(loRaw) % (n + 1)
+		hi := int(hiRaw) % (n + 1)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		fast := New(n)
+		fast.SetRange(lo, hi)
+		slow := New(n)
+		for i := lo; i < hi; i++ {
+			slow.Set(i)
+		}
+		if fast.Count() != slow.Count() {
+			t.Fatalf("SetRange(%d,%d) on %d bits: count %d vs naive %d", lo, hi, n, fast.Count(), slow.Count())
+		}
+		for i := 0; i < n; i++ {
+			if fast.Test(i) != slow.Test(i) {
+				t.Fatalf("SetRange(%d,%d) bit %d: %v vs naive %v", lo, hi, i, fast.Test(i), slow.Test(i))
+			}
+		}
+	})
+}
+
+// FuzzCountRange cross-checks CountRange against per-bit counting.
+func FuzzCountRange(f *testing.F) {
+	f.Add([]byte{0xff, 0x01}, uint16(9))
+	f.Add([]byte{}, uint16(0))
+	f.Fuzz(func(t *testing.T, raw []byte, limitRaw uint16) {
+		n := len(raw)*8 + 1
+		s := New(n)
+		for i, b := range raw {
+			for bit := 0; bit < 8; bit++ {
+				if b&(1<<bit) != 0 {
+					s.Set(i*8 + bit)
+				}
+			}
+		}
+		limit := int(limitRaw) % (n + 1)
+		want := 0
+		for i := 0; i < limit; i++ {
+			if s.Test(i) {
+				want++
+			}
+		}
+		if got := s.CountRange(limit); got != want {
+			t.Fatalf("CountRange(%d) = %d, want %d", limit, got, want)
+		}
+	})
+}

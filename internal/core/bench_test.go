@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"multicast/internal/protocol"
+	"multicast/internal/radio"
+	"multicast/internal/rng"
+)
+
+// benchNode measures one node's Step+EndSlot cost (the engine hot path).
+func benchNode(b *testing.B, nd protocol.Node) {
+	b.Helper()
+	fb := radio.Feedback{Status: radio.Noise}
+	for i := 0; i < b.N; i++ {
+		slot := int64(i)
+		if a := nd.Step(slot); a.Kind == protocol.Listen {
+			nd.Deliver(fb) // noise keeps counters busy and nodes active
+		}
+		nd.EndSlot(slot)
+		if nd.Status() == protocol.Halted {
+			b.Fatal("node halted mid-benchmark despite constant noise")
+		}
+	}
+}
+
+func BenchmarkNodeStepMultiCastCore(b *testing.B) {
+	alg, err := NewMultiCastCore(Sim(), 256, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNode(b, alg.NewNode(0, true, rng.New(1)))
+}
+
+func BenchmarkNodeStepMultiCast(b *testing.B) {
+	alg, err := NewMultiCast(Sim(), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNode(b, alg.NewNode(0, true, rng.New(1)))
+}
+
+func BenchmarkNodeStepMultiCastC(b *testing.B) {
+	alg, err := NewMultiCastC(Sim(), 256, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNode(b, alg.NewNode(0, true, rng.New(1)))
+}
+
+func BenchmarkNodeStepMultiCastAdv(b *testing.B) {
+	alg, err := NewMultiCastAdv(Sim())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNode(b, alg.NewNode(0, true, rng.New(1)))
+}
+
+func BenchmarkAdvScheduleAt(b *testing.B) {
+	s := NewAdvSchedule(Sim())
+	end := s.Window(400).End
+	var sink StepWindow
+	for i := 0; i < b.N; i++ {
+		sink = s.At(int64(i) % end)
+	}
+	_ = sink
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"math"
+
+	"multicast/internal/protocol"
+	"multicast/internal/radio"
+	"multicast/internal/rng"
+)
+
+// maxIter caps the iteration index so Rᵢ = Θ(i·4ⁱ) stays well inside int64.
+// Iteration 28 alone is ~10¹⁸ slots; reaching the cap means the run was
+// unbounded for other reasons and the engine's MaxSlots valve fires first.
+const maxIter = 28
+
+// MultiCast is the paper's Figure 2 algorithm: MultiCastCore with growing
+// iterations (Rᵢ = ⌈A·i·4ⁱ·lgᴸn⌉) and shrinking probabilities (pᵢ = 2⁻ⁱ),
+// which removes the need to know T and improves energy competitiveness to
+// O(√(T/n)·√lgT·lgn + lg²n). A node halts at the end of iteration i iff it
+// observed fewer than HaltRatio·Rᵢ·pᵢ noisy slots.
+type MultiCast struct {
+	params   Params
+	n        int
+	channels int
+}
+
+// NewMultiCast builds the algorithm for n nodes (power of two ≥ 2).
+func NewMultiCast(params Params, n int) (*MultiCast, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateN(n); err != nil {
+		return nil, err
+	}
+	return &MultiCast{params: params, n: n, channels: maxInt(n/params.channelDiv(), 1)}, nil
+}
+
+// Name implements protocol.Algorithm.
+func (a *MultiCast) Name() string { return "MultiCast" }
+
+// Channels implements protocol.Algorithm: n/ChannelDiv (paper: n/2) in
+// every slot.
+func (a *MultiCast) Channels(slot int64) int { return a.channels }
+
+// IterationLength returns Rᵢ for iteration i.
+func (a *MultiCast) IterationLength(i int) int64 {
+	if i > maxIter {
+		i = maxIter
+	}
+	return ceilPos(a.params.A * float64(i) * math.Exp2(2*float64(i)) * lgPow(a.n, a.params.LogPow))
+}
+
+// ListenProb returns pᵢ = 2⁻ⁱ for iteration i.
+func (a *MultiCast) ListenProb(i int) float64 {
+	if i > maxIter {
+		i = maxIter
+	}
+	return math.Exp2(-float64(i))
+}
+
+// NewNode implements protocol.Algorithm.
+func (a *MultiCast) NewNode(id int, source bool, r *rng.Source) protocol.Node {
+	nd := &mcastNode{alg: a, r: r}
+	if source {
+		nd.status = protocol.Informed
+		nd.knowsM = true
+	}
+	nd.startIteration(a.params.StartIter)
+	return nd
+}
+
+// mcastNode is one node's MultiCast state machine.
+type mcastNode struct {
+	alg     *MultiCast
+	r       *rng.Source
+	status  protocol.Status
+	knowsM  bool
+	iter    int     // current iteration index i
+	iterLen int64   // Rᵢ
+	p       float64 // pᵢ
+	haltMax float64 // halt iff Nn < haltMax at iteration end
+	noisy   int64   // Nn
+	slotIdx int64   // slot within the iteration
+}
+
+func (nd *mcastNode) startIteration(i int) {
+	nd.iter = i
+	nd.iterLen = nd.alg.IterationLength(i)
+	nd.p = nd.alg.ListenProb(i)
+	nd.haltMax = nd.alg.params.HaltRatio * nd.p * float64(nd.iterLen)
+	nd.noisy = 0
+	nd.slotIdx = 0
+}
+
+func (nd *mcastNode) Status() protocol.Status { return nd.status }
+
+func (nd *mcastNode) Informed() bool { return nd.knowsM }
+
+// Iteration returns the node's current iteration index (test hook).
+func (nd *mcastNode) Iteration() int { return nd.iter }
+
+func (nd *mcastNode) Step(slot int64) protocol.Action {
+	u := nd.r.Float64()
+	switch {
+	case u < nd.p:
+		return protocol.Action{Kind: protocol.Listen, Channel: nd.r.Intn(nd.alg.channels)}
+	case u < 2*nd.p && nd.status == protocol.Informed:
+		return protocol.Action{Kind: protocol.Broadcast, Channel: nd.r.Intn(nd.alg.channels), Payload: radio.MsgM}
+	default:
+		return protocol.Action{Kind: protocol.Idle}
+	}
+}
+
+func (nd *mcastNode) Deliver(fb radio.Feedback) {
+	switch fb.Status {
+	case radio.Noise:
+		nd.noisy++
+	case radio.Message:
+		if fb.Payload == radio.MsgM {
+			nd.status = protocol.Informed
+			nd.knowsM = true
+		}
+	}
+}
+
+func (nd *mcastNode) EndSlot(slot int64) {
+	nd.slotIdx++
+	if nd.slotIdx < nd.iterLen {
+		return
+	}
+	if float64(nd.noisy) < nd.haltMax {
+		nd.status = protocol.Halted
+		return
+	}
+	nd.startIteration(nd.iter + 1)
+}
+
+// ---------------------------------------------------------------------------
+// MultiCast(C) — Figure 5
+
+// MultiCastC simulates MultiCast in a network with only C channels
+// (Figure 5). Iteration i consists of Rᵢ *rounds*; each round spends
+// n/(2C) slots simulating one MultiCast slot: a node that picked virtual
+// channel ch ∈ [0, n/2) acts only in sub-slot ⌊ch/C⌋ of the round, on
+// physical channel ch mod C. Because n/2 is a power of two, C is rounded
+// down to the nearest power of two ≤ min(C, n/2) (the paper's "otherwise,
+// round down C").
+type MultiCastC struct {
+	inner     *MultiCast
+	c         int   // effective physical channel count
+	subSlots  int64 // slots per round = n/(2C)
+	requested int   // the C the caller asked for
+}
+
+// NewMultiCastC builds the C-channel variant. c ≥ 1 is the number of
+// available physical channels.
+func NewMultiCastC(params Params, n, c int) (*MultiCastC, error) {
+	// The round structure assumes the simulated algorithm uses exactly
+	// n/2 virtual channels (Figure 5); the ChannelDiv ablation knob does
+	// not apply here.
+	params.ChannelDiv = 2
+	inner, err := NewMultiCast(params, n)
+	if err != nil {
+		return nil, err
+	}
+	requested := c
+	if c < 1 {
+		c = 1
+	}
+	if c > n/2 {
+		c = maxInt(n/2, 1)
+	}
+	// Round down to a power of two so C divides n/2 exactly.
+	c = 1 << lg(c)
+	return &MultiCastC{
+		inner:     inner,
+		c:         c,
+		subSlots:  int64(maxInt(n/2, 1) / c),
+		requested: requested,
+	}, nil
+}
+
+// Name implements protocol.Algorithm.
+func (a *MultiCastC) Name() string { return "MultiCast(C)" }
+
+// Channels implements protocol.Algorithm: always the effective C.
+func (a *MultiCastC) Channels(slot int64) int { return a.c }
+
+// EffectiveC returns the power-of-two channel count actually used.
+func (a *MultiCastC) EffectiveC() int { return a.c }
+
+// RoundLength returns the number of physical slots per simulated slot.
+func (a *MultiCastC) RoundLength() int64 { return a.subSlots }
+
+// NewNode implements protocol.Algorithm.
+func (a *MultiCastC) NewNode(id int, source bool, r *rng.Source) protocol.Node {
+	nd := &mcastCNode{alg: a, r: r}
+	if source {
+		nd.status = protocol.Informed
+		nd.knowsM = true
+	}
+	nd.startIteration(a.inner.params.StartIter)
+	nd.startRound()
+	return nd
+}
+
+// mcastCNode is one node's MultiCast(C) state machine.
+type mcastCNode struct {
+	alg     *MultiCastC
+	r       *rng.Source
+	status  protocol.Status
+	knowsM  bool
+	iter    int
+	iterLen int64 // Rᵢ in rounds
+	p       float64
+	haltMax float64
+	noisy   int64
+	round   int64 // round index within the iteration
+	sub     int64 // sub-slot index within the round
+
+	// Per-round draw, made at round start (one virtual MultiCast slot).
+	act     protocol.Kind
+	virtual int // virtual channel in [0, n/2)
+}
+
+func (nd *mcastCNode) startIteration(i int) {
+	nd.iter = i
+	nd.iterLen = nd.alg.inner.IterationLength(i)
+	nd.p = nd.alg.inner.ListenProb(i)
+	nd.haltMax = nd.alg.inner.params.HaltRatio * nd.p * float64(nd.iterLen)
+	nd.noisy = 0
+	nd.round = 0
+}
+
+// startRound draws the virtual slot's channel and coin (Figure 5 lines 6).
+func (nd *mcastCNode) startRound() {
+	nd.sub = 0
+	u := nd.r.Float64()
+	switch {
+	case u < nd.p:
+		nd.act = protocol.Listen
+	case u < 2*nd.p && nd.status == protocol.Informed:
+		nd.act = protocol.Broadcast
+	default:
+		nd.act = protocol.Idle
+		return
+	}
+	nd.virtual = nd.r.Intn(nd.alg.inner.channels)
+}
+
+func (nd *mcastCNode) Status() protocol.Status { return nd.status }
+
+func (nd *mcastCNode) Informed() bool { return nd.knowsM }
+
+// Iteration returns the node's current iteration index (test hook).
+func (nd *mcastCNode) Iteration() int { return nd.iter }
+
+func (nd *mcastCNode) Step(slot int64) protocol.Action {
+	if nd.act == protocol.Idle {
+		return protocol.Action{Kind: protocol.Idle}
+	}
+	// Act only in the sub-slot that hosts the virtual channel.
+	if nd.sub != int64(nd.virtual/nd.alg.c) {
+		return protocol.Action{Kind: protocol.Idle}
+	}
+	physical := nd.virtual % nd.alg.c
+	if nd.act == protocol.Listen {
+		return protocol.Action{Kind: protocol.Listen, Channel: physical}
+	}
+	return protocol.Action{Kind: protocol.Broadcast, Channel: physical, Payload: radio.MsgM}
+}
+
+func (nd *mcastCNode) Deliver(fb radio.Feedback) {
+	switch fb.Status {
+	case radio.Noise:
+		nd.noisy++
+	case radio.Message:
+		if fb.Payload == radio.MsgM {
+			nd.status = protocol.Informed
+			nd.knowsM = true
+		}
+	}
+}
+
+func (nd *mcastCNode) EndSlot(slot int64) {
+	nd.sub++
+	if nd.sub < nd.alg.subSlots {
+		return
+	}
+	// Round boundary.
+	nd.round++
+	if nd.round < nd.iterLen {
+		nd.startRound()
+		return
+	}
+	// Iteration boundary (Figure 5 line 17).
+	if float64(nd.noisy) < nd.haltMax {
+		nd.status = protocol.Halted
+		return
+	}
+	nd.startIteration(nd.iter + 1)
+	nd.startRound()
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"multicast/internal/protocol"
+	"multicast/internal/radio"
+	"multicast/internal/rng"
+)
+
+// MultiCastCore is the paper's Figure 1 algorithm. It needs both n and T
+// as inputs, uses n/2 channels, and runs identical iterations of
+// R = ⌈CoreA·lg T̂⌉ slots with T̂ = max{T, n}. In every slot each node hops
+// to a uniformly random channel; with probability CoreP it listens, with
+// probability CoreP it broadcasts m if informed, and otherwise idles. At
+// an iteration end a node halts iff it heard fewer than HaltRatio·R·CoreP
+// noisy slots (the paper's R/128).
+type MultiCastCore struct {
+	params   Params
+	n        int
+	channels int
+	iterLen  int64
+	haltMax  float64 // halt iff Nn < haltMax at iteration end
+}
+
+// NewMultiCastCore builds the algorithm for n nodes and adversary budget
+// bound T. n must be a power of two ≥ 2; T must be ≥ 0.
+func NewMultiCastCore(params Params, n int, t int64) (*MultiCastCore, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateN(n); err != nil {
+		return nil, err
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("core: negative adversary budget %d", t)
+	}
+	tHat := t
+	if int64(n) > tHat {
+		tHat = int64(n)
+	}
+	iterLen := ceilPos(params.CoreA * lgf(tHat))
+	return &MultiCastCore{
+		params:   params,
+		n:        n,
+		channels: maxInt(n/params.channelDiv(), 1),
+		iterLen:  iterLen,
+		haltMax:  params.HaltRatio * params.CoreP * float64(iterLen),
+	}, nil
+}
+
+// lgf returns log₂ v for v ≥ 1 as a float, floored at 1.
+func lgf(v int64) float64 {
+	l := 0.0
+	for x := v; x > 1; x >>= 1 {
+		l++
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Name implements protocol.Algorithm.
+func (a *MultiCastCore) Name() string { return "MultiCastCore" }
+
+// Channels implements protocol.Algorithm: n/ChannelDiv (paper: n/2) in
+// every slot.
+func (a *MultiCastCore) Channels(slot int64) int { return a.channels }
+
+// IterationLength returns R, the slots per iteration.
+func (a *MultiCastCore) IterationLength() int64 { return a.iterLen }
+
+// NewNode implements protocol.Algorithm.
+func (a *MultiCastCore) NewNode(id int, source bool, r *rng.Source) protocol.Node {
+	n := &coreNode{alg: a, r: r}
+	if source {
+		n.status = protocol.Informed
+		n.knowsM = true
+	}
+	return n
+}
+
+// coreNode is one node's MultiCastCore state machine.
+type coreNode struct {
+	alg    *MultiCastCore
+	r      *rng.Source
+	status protocol.Status
+	knowsM bool // whether the node has the message (≠ status: a node
+	// can halt uninformed, and Informed() must keep reporting the truth)
+	noisy   int64 // Nn: noisy slots this iteration
+	slotIdx int64 // slot index within the current iteration
+}
+
+func (nd *coreNode) Status() protocol.Status { return nd.status }
+
+func (nd *coreNode) Informed() bool { return nd.knowsM }
+
+// Step draws the slot's action. The pseudocode draws the channel and the
+// coin independently and unconditionally; drawing the channel lazily (only
+// when the coin selects listen or broadcast) yields the same distribution.
+func (nd *coreNode) Step(slot int64) protocol.Action {
+	p := nd.alg.params.CoreP
+	u := nd.r.Float64()
+	switch {
+	case u < p:
+		return protocol.Action{Kind: protocol.Listen, Channel: nd.r.Intn(nd.alg.channels)}
+	case u < 2*p && nd.status == protocol.Informed:
+		return protocol.Action{Kind: protocol.Broadcast, Channel: nd.r.Intn(nd.alg.channels), Payload: radio.MsgM}
+	default:
+		return protocol.Action{Kind: protocol.Idle}
+	}
+}
+
+func (nd *coreNode) Deliver(fb radio.Feedback) {
+	switch fb.Status {
+	case radio.Noise:
+		nd.noisy++
+	case radio.Message:
+		if fb.Payload == radio.MsgM {
+			nd.status = protocol.Informed
+			nd.knowsM = true
+		}
+	}
+}
+
+func (nd *coreNode) EndSlot(slot int64) {
+	nd.slotIdx++
+	if nd.slotIdx < nd.alg.iterLen {
+		return
+	}
+	// Iteration boundary: halt iff few noisy slots were observed.
+	if float64(nd.noisy) < nd.alg.haltMax {
+		nd.status = protocol.Halted
+	}
+	nd.slotIdx = 0
+	nd.noisy = 0
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"multicast/internal/protocol"
+	"multicast/internal/radio"
+	"multicast/internal/rng"
+)
+
+func TestMultiCastCoreConstructor(t *testing.T) {
+	p := Sim()
+	alg, err := NewMultiCastCore(p, 256, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.Name() != "MultiCastCore" {
+		t.Errorf("Name = %q", alg.Name())
+	}
+	if alg.Channels(0) != 128 || alg.Channels(1<<40) != 128 {
+		t.Errorf("Channels = %d, want n/2 = 128 in every slot", alg.Channels(0))
+	}
+}
+
+func TestMultiCastCoreConstructorErrors(t *testing.T) {
+	p := Sim()
+	if _, err := NewMultiCastCore(p, 100, 0); err == nil {
+		t.Error("accepted non-power-of-two n")
+	}
+	if _, err := NewMultiCastCore(p, 256, -1); err == nil {
+		t.Error("accepted negative T")
+	}
+	bad := p
+	bad.CoreP = 0
+	if _, err := NewMultiCastCore(bad, 256, 0); err == nil {
+		t.Error("accepted invalid params")
+	}
+}
+
+func TestMultiCastCoreIterationLength(t *testing.T) {
+	p := Sim()
+	// T̂ = max{T, n}: with T < n the length is driven by n.
+	algSmallT, _ := NewMultiCastCore(p, 256, 1)
+	algZeroT, _ := NewMultiCastCore(p, 256, 0)
+	if algSmallT.IterationLength() != algZeroT.IterationLength() {
+		t.Error("T < n must not change T̂")
+	}
+	wantN := ceilPos(p.CoreA * 8) // lg 256 = 8
+	if got := algZeroT.IterationLength(); got != wantN {
+		t.Errorf("IterationLength(T=0) = %d, want %d", got, wantN)
+	}
+	// With T = 2^20 > n the length is driven by T.
+	algBigT, _ := NewMultiCastCore(p, 256, 1<<20)
+	wantT := ceilPos(p.CoreA * 20)
+	if got := algBigT.IterationLength(); got != wantT {
+		t.Errorf("IterationLength(T=2^20) = %d, want %d", got, wantT)
+	}
+}
+
+func TestMultiCastCorePaperIterationArithmetic(t *testing.T) {
+	// Figure 1: R = a·lg T̂ with a = 1 in the Paper preset.
+	alg, err := NewMultiCastCore(Paper(0.1), 256, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := alg.IterationLength(); got != 16 {
+		t.Errorf("Paper preset R = %d, want lg 2^16 = 16", got)
+	}
+}
+
+func TestMultiCastCoreSourceStartsInformed(t *testing.T) {
+	alg, _ := NewMultiCastCore(Sim(), 64, 0)
+	src := alg.NewNode(0, true, rng.New(1))
+	other := alg.NewNode(1, false, rng.New(2))
+	if !src.Informed() || src.Status() != protocol.Informed {
+		t.Error("source not informed at start")
+	}
+	if other.Informed() || other.Status() != protocol.Uninformed {
+		t.Error("non-source informed at start")
+	}
+}
+
+func TestMultiCastCoreActionDistribution(t *testing.T) {
+	p := Sim()
+	alg, _ := NewMultiCastCore(p, 64, 0)
+	src := alg.NewNode(0, true, rng.New(7))
+	un := alg.NewNode(1, false, rng.New(8))
+	const slots = 100_000
+	var srcListen, srcBcast, unListen, unBcast int
+	for s := int64(0); s < slots; s++ {
+		switch a := src.Step(s); a.Kind {
+		case protocol.Listen:
+			srcListen++
+		case protocol.Broadcast:
+			srcBcast++
+			if a.Payload != radio.MsgM {
+				t.Fatal("informed node must broadcast m")
+			}
+		}
+		switch un.Step(s).Kind {
+		case protocol.Listen:
+			unListen++
+		case protocol.Broadcast:
+			unBcast++
+		}
+	}
+	tol := 0.02
+	if got := float64(srcListen) / slots; math.Abs(got-p.CoreP) > tol {
+		t.Errorf("informed listen rate %v, want %v", got, p.CoreP)
+	}
+	if got := float64(srcBcast) / slots; math.Abs(got-p.CoreP) > tol {
+		t.Errorf("informed broadcast rate %v, want %v", got, p.CoreP)
+	}
+	if unBcast != 0 {
+		t.Errorf("uninformed node broadcast %d times", unBcast)
+	}
+}
+
+func TestMultiCastCoreChannelsUniform(t *testing.T) {
+	alg, _ := NewMultiCastCore(Sim(), 64, 0)
+	nd := alg.NewNode(1, true, rng.New(3))
+	seen := map[int]bool{}
+	for s := int64(0); s < 50_000; s++ {
+		a := nd.Step(s)
+		if a.Kind == protocol.Idle {
+			continue
+		}
+		if a.Channel < 0 || a.Channel >= 32 {
+			t.Fatalf("channel %d out of [0,32)", a.Channel)
+		}
+		seen[a.Channel] = true
+	}
+	if len(seen) != 32 {
+		t.Errorf("only %d of 32 channels used in 50k slots", len(seen))
+	}
+}
+
+func TestMultiCastCoreInformedOnMessage(t *testing.T) {
+	alg, _ := NewMultiCastCore(Sim(), 64, 0)
+	nd := alg.NewNode(1, false, rng.New(1))
+	nd.Deliver(radio.Feedback{Status: radio.Silence})
+	nd.Deliver(radio.Feedback{Status: radio.Noise})
+	if nd.Informed() {
+		t.Fatal("informed by silence/noise")
+	}
+	nd.Deliver(radio.Feedback{Status: radio.Message, Payload: radio.MsgM})
+	if !nd.Informed() {
+		t.Fatal("not informed by message m")
+	}
+}
+
+func TestMultiCastCoreHaltsWhenQuiet(t *testing.T) {
+	alg, _ := NewMultiCastCore(Sim(), 64, 0)
+	nd := alg.NewNode(0, true, rng.New(1))
+	r := alg.IterationLength()
+	for s := int64(0); s < r; s++ {
+		nd.Step(s)
+		nd.EndSlot(s) // no noise delivered at all
+	}
+	if nd.Status() != protocol.Halted {
+		t.Fatalf("node did not halt after a quiet iteration (status %v)", nd.Status())
+	}
+}
+
+func TestMultiCastCoreKeepsGoingWhenNoisy(t *testing.T) {
+	alg, _ := NewMultiCastCore(Sim(), 64, 0)
+	nd := alg.NewNode(0, true, rng.New(1))
+	r := alg.IterationLength()
+	// Deliver noise every slot: far above the halting threshold.
+	for s := int64(0); s < 3*r; s++ {
+		nd.Step(s)
+		nd.Deliver(radio.Feedback{Status: radio.Noise})
+		nd.EndSlot(s)
+	}
+	if nd.Status() == protocol.Halted {
+		t.Fatal("node halted despite constant noise")
+	}
+}
+
+func TestMultiCastCoreHaltThresholdBoundary(t *testing.T) {
+	// Exactly at the threshold the pseudocode requires Nn < R/128
+	// (strict), i.e. Nn == threshold must NOT halt.
+	p := Sim()
+	alg, _ := NewMultiCastCore(p, 64, 0)
+	r := alg.IterationLength()
+	thresh := int64(p.HaltRatio * p.CoreP * float64(r)) // ⌊·⌋
+
+	run := func(noisy int64) protocol.Status {
+		nd := alg.NewNode(0, true, rng.New(5))
+		for s := int64(0); s < r; s++ {
+			nd.Step(s)
+			if s < noisy {
+				nd.Deliver(radio.Feedback{Status: radio.Noise})
+			}
+			nd.EndSlot(s)
+		}
+		return nd.Status()
+	}
+	if run(thresh-1) != protocol.Halted {
+		t.Errorf("Nn=%d (below threshold) did not halt", thresh-1)
+	}
+	if float64(thresh) >= p.HaltRatio*p.CoreP*float64(r) {
+		if run(thresh) == protocol.Halted {
+			t.Errorf("Nn=%d (at/above threshold) halted", thresh)
+		}
+	}
+}
+
+func TestMultiCastCoreCountersResetEachIteration(t *testing.T) {
+	alg, _ := NewMultiCastCore(Sim(), 64, 0)
+	nd := alg.NewNode(0, true, rng.New(1))
+	r := alg.IterationLength()
+	// Iteration 1: noisy → no halt.
+	for s := int64(0); s < r; s++ {
+		nd.Step(s)
+		nd.Deliver(radio.Feedback{Status: radio.Noise})
+		nd.EndSlot(s)
+	}
+	if nd.Status() == protocol.Halted {
+		t.Fatal("halted after noisy iteration")
+	}
+	// Iteration 2: quiet → must halt, proving Nn was reset.
+	for s := r; s < 2*r; s++ {
+		nd.Step(s)
+		nd.EndSlot(s)
+	}
+	if nd.Status() != protocol.Halted {
+		t.Fatal("Nn not reset between iterations")
+	}
+}

@@ -1,0 +1,229 @@
+// Package core implements the paper's algorithms: MultiCastCore (Figure 1),
+// MultiCast (Figure 2), MultiCastAdv (Figure 4), and their limited-channel
+// variants MultiCast(C) (Figure 5) and MultiCastAdv(C) (Figure 6).
+//
+// Every structural element of the pseudocode is kept literally: the n/2
+// channel choice, the 4^i iteration growth and 2^{-i} probability decay of
+// MultiCast, the epoch/phase lattice, the 2^{2α(i−j)} phase lengths and
+// 2^{-α(i−j)}/2 probabilities of MultiCastAdv, the two-step phases, the
+// beacon ±, the four counters, and the two-stage helper→halt termination.
+// The *constants* (a, b, 1/64, the i³ factor, lg²n factors, threshold
+// ratios) are fields of Params: the paper picks them "for the ease of
+// analysis" (footnote 4) with margins that would cost >10¹⁰ slots to
+// simulate verbatim, so the Sim preset shrinks constant and polylog factors
+// while preserving every asymptotic shape. The Paper preset keeps the
+// literal pseudocode values for conformance tests.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Params collects the tunable constants of all five algorithms. The zero
+// value is invalid; start from Sim() or Paper() and override fields.
+type Params struct {
+	// CoreP is MultiCastCore's listen/broadcast probability.
+	// Paper: 1/64 (coin ← rnd(1,64)).
+	CoreP float64
+	// CoreA scales MultiCastCore's iteration length R = ⌈CoreA·lg T̂⌉.
+	// Paper: "a sufficiently large constant".
+	CoreA float64
+
+	// A scales MultiCast's iteration length Rᵢ = ⌈A·i·4ⁱ·lgᴸnⁿ⌉.
+	// Paper: "a sufficiently large constant".
+	A float64
+	// StartIter is MultiCast's first iteration index. Paper: 6 (so that
+	// pᵢ = 2⁻ⁱ ≤ 1/64 from the start).
+	StartIter int
+	// LogPow is the exponent L on the lg n factor of Rᵢ. Paper: 2.
+	LogPow int
+
+	// HaltRatio: MultiCastCore and MultiCast halt at an iteration end iff
+	// Nn < HaltRatio·R·p. Paper: 1/2 (Figure 1's R/128 = R·p/2 with
+	// p = 1/64; Figure 2's Rᵢ/2^{i+1} = Rᵢpᵢ/2).
+	HaltRatio float64
+
+	// Alpha is MultiCastAdv's tunable constant, 0 < α < 1/4.
+	Alpha float64
+	// B scales MultiCastAdv's step length R(i,j) = ⌈B·2^{2α(i−j)}·i^IExp⌉.
+	// Paper: "b is some sufficiently large constant".
+	B float64
+	// IExp is the exponent on i in R(i,j). Paper: 3.
+	IExp int
+	// HelperNm: helper requires Nm ≥ HelperNm·R·p². Paper: 1.5.
+	HelperNm float64
+	// HelperNs: helper requires Ns ≥ HelperNs·R·p. Paper: 0.9.
+	HelperNs float64
+	// HelperNmPrime: helper requires N'm ≤ HelperNmPrime·R·p². Paper: 2.2.
+	HelperNmPrime float64
+	// HaltNoise: a helper halts iff Nn ≤ HaltNoise·R·p in an eligible
+	// phase. Paper: 1/3000.
+	HaltNoise float64
+	// HelperGap is the minimum number of epochs between becoming helper
+	// and considering termination (i − iˆ ≥ HelperGap). Paper: 2/α.
+	// Zero means "use 2/α".
+	HelperGap int
+
+	// ChannelDiv sets the channel count of MultiCastCore and MultiCast to
+	// n/ChannelDiv. The paper fixes it to 2 (§4 argues n/2 balances
+	// parallelism against meeting probability); other values exist only
+	// for the ablation benchmarks. Zero means 2.
+	ChannelDiv int
+}
+
+// Paper returns the literal pseudocode constants. The paper leaves a and b
+// as "sufficiently large"; Paper uses 1 for both so that iteration lengths
+// match the pseudocode's structure exactly — conformance tests check slot
+// arithmetic, not w.h.p. margins, against this preset.
+func Paper(alpha float64) Params {
+	return Params{
+		CoreP:         1.0 / 64,
+		CoreA:         1,
+		A:             1,
+		StartIter:     6,
+		LogPow:        2,
+		HaltRatio:     0.5,
+		Alpha:         alpha,
+		B:             1,
+		IExp:          3,
+		HelperNm:      1.5,
+		HelperNs:      0.9,
+		HelperNmPrime: 2.2,
+		HaltNoise:     1.0 / 3000,
+		HelperGap:     0, // 2/α
+	}
+}
+
+// Sim returns constants tuned so that laptop-scale executions preserve the
+// paper's asymptotic shapes:
+//
+//   - CoreP = 1/4 and CoreA = 40: epidemic broadcast on n/2 channels still
+//     doubles the informed set per O(1) slots and completes an iteration of
+//     ⌈40·lg T̂⌉ slots, keeping Theorem 4.4's Θ(T/n + lg T̂) shape.
+//   - StartIter = 3 (p₃ = 1/8) and LogPow = 1: Rᵢ = ⌈A·i·4ⁱ·lg n⌉ keeps the
+//     4ⁱ/2⁻ⁱ skeleton that yields Theorem 5.4's √(T/n) cost; shrinking the
+//     polylog factor only rescales the Õ(·).
+//   - IExp = 1 and B = 20: the helper checks compare counters against
+//     multiples of R(i,j)·p(i,j)² = B·i/4, so B directly controls the
+//     Chernoff margins of Lemmas 6.1–6.3. With B = 20 the counter means
+//     the checks must separate — E[Nm] ≈ 2e^{−2p}·Rp² in the good phase
+//     j = lg n − 1, ≤ e^{−p}·Rp² at j = lg n, and E[N'm] ≈ 4e^{−4p}·Rp²
+//     at j = lg n − 2 — sit ≥ 3 standard deviations from the thresholds
+//     once p(i,j) has decayed below ~0.1, keeping false helper phases
+//     rare at simulation scale.
+//   - HelperNm = 1.4 splits the j = lg n − 1 mean (→2Rp²) from the
+//     j = lg n mean (≤ Rp²); HelperNs = 0.75 and HelperNmPrime = 2.2
+//     play the same roles as the paper's 0.9 / 2.2 with margins matched
+//     to B = 20.
+//   - HelperGap = 6 and HaltNoise = 1/16: after six more epochs
+//     p(i,jˆ) has decayed by 2^{−6α} ≈ 0.44, covering the straggler spread
+//     of helper transitions across nodes and pushing residual collision
+//     noise (≈2p² per listen) far below 1/32, while a blocking adversary
+//     must still induce a ≥1/16 noise fraction — the same separation the
+//     paper gets from 2/α epochs and 1/3000.
+func Sim() Params {
+	return Params{
+		CoreP:         0.25,
+		CoreA:         40,
+		A:             1,
+		StartIter:     3,
+		LogPow:        1,
+		HaltRatio:     0.5,
+		Alpha:         0.20,
+		B:             20,
+		IExp:          1,
+		HelperNm:      1.4,
+		HelperNs:      0.75,
+		HelperNmPrime: 2.2,
+		HaltNoise:     1.0 / 16,
+		HelperGap:     6,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case !(p.CoreP > 0 && p.CoreP <= 0.5):
+		return fmt.Errorf("core: CoreP = %v out of (0, 0.5]", p.CoreP)
+	case p.CoreA <= 0:
+		return fmt.Errorf("core: CoreA = %v must be positive", p.CoreA)
+	case p.A <= 0:
+		return fmt.Errorf("core: A = %v must be positive", p.A)
+	case p.StartIter < 1 || p.StartIter > 20:
+		return fmt.Errorf("core: StartIter = %d out of [1, 20]", p.StartIter)
+	case p.LogPow < 0 || p.LogPow > 3:
+		return fmt.Errorf("core: LogPow = %d out of [0, 3]", p.LogPow)
+	case !(p.HaltRatio > 0 && p.HaltRatio < 1):
+		return fmt.Errorf("core: HaltRatio = %v out of (0, 1)", p.HaltRatio)
+	case !(p.Alpha > 0 && p.Alpha < 0.25):
+		return fmt.Errorf("core: Alpha = %v out of (0, 1/4)", p.Alpha)
+	case p.B <= 0:
+		return fmt.Errorf("core: B = %v must be positive", p.B)
+	case p.IExp < 0 || p.IExp > 4:
+		return fmt.Errorf("core: IExp = %d out of [0, 4]", p.IExp)
+	case p.HelperNm <= 0 || p.HelperNs <= 0 || p.HelperNmPrime <= 0:
+		return fmt.Errorf("core: helper thresholds must be positive")
+	case !(p.HaltNoise > 0 && p.HaltNoise < 1):
+		return fmt.Errorf("core: HaltNoise = %v out of (0, 1)", p.HaltNoise)
+	case p.HelperGap < 0:
+		return fmt.Errorf("core: HelperGap = %d must be ≥ 0", p.HelperGap)
+	case p.ChannelDiv < 0:
+		return fmt.Errorf("core: ChannelDiv = %d must be ≥ 0", p.ChannelDiv)
+	}
+	return nil
+}
+
+// channelDiv returns the effective channel divisor (paper default 2).
+func (p Params) channelDiv() int {
+	if p.ChannelDiv > 0 {
+		return p.ChannelDiv
+	}
+	return 2
+}
+
+// helperGap returns the epoch gap between helper and first halt check:
+// the explicit override, or the paper's ⌈2/α⌉.
+func (p Params) helperGap() int {
+	if p.HelperGap > 0 {
+		return p.HelperGap
+	}
+	return int(math.Ceil(2 / p.Alpha))
+}
+
+// ValidateN checks the network-size assumption shared by all algorithms:
+// the paper assumes n is a power of two, n ≥ 2.
+func ValidateN(n int) error {
+	if n < 2 || n&(n-1) != 0 {
+		return fmt.Errorf("core: n = %d must be a power of two ≥ 2", n)
+	}
+	return nil
+}
+
+// lg returns ⌊log₂ n⌋ for n ≥ 1.
+func lg(n int) int {
+	if n < 1 {
+		panic("core: lg of non-positive value")
+	}
+	return bits.Len(uint(n)) - 1
+}
+
+// lgPow returns (lg n)^pow as a float, with lg n floored at 1 so that tiny
+// networks still get positive iteration lengths.
+func lgPow(n, pow int) float64 {
+	l := lg(n)
+	if l < 1 {
+		l = 1
+	}
+	return math.Pow(float64(l), float64(pow))
+}
+
+// ceilPos rounds x up to an int64, with a floor of 1.
+func ceilPos(x float64) int64 {
+	v := int64(math.Ceil(x))
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,179 @@
+package core
+
+// Property-based tests on the node state machines: for arbitrary feedback
+// sequences, statuses move monotonically through the protocol order,
+// knowledge is never lost, counters respect their containment relations,
+// and halted nodes stay halted.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multicast/internal/protocol"
+	"multicast/internal/radio"
+	"multicast/internal/rng"
+)
+
+// feedbackFromByte maps a fuzz byte to a feedback value (or nil = no listen).
+func feedbackFromByte(b byte) *radio.Feedback {
+	switch b % 5 {
+	case 0:
+		return nil
+	case 1:
+		return &radio.Feedback{Status: radio.Silence}
+	case 2:
+		return &radio.Feedback{Status: radio.Noise}
+	case 3:
+		return &radio.Feedback{Status: radio.Message, Payload: radio.MsgM}
+	default:
+		return &radio.Feedback{Status: radio.Message, Payload: radio.Beacon}
+	}
+}
+
+// driveNode feeds a node an arbitrary script and checks universal
+// state-machine invariants, returning false on any violation.
+func driveNode(nd protocol.Node, script []byte) bool {
+	prevStatus := nd.Status()
+	prevKnown := nd.Informed()
+	for slot, b := range script {
+		if nd.Status() == protocol.Halted {
+			return true // engine stops stepping halted nodes
+		}
+		nd.Step(int64(slot))
+		if fb := feedbackFromByte(b); fb != nil {
+			nd.Deliver(*fb)
+		}
+		nd.EndSlot(int64(slot))
+
+		status := nd.Status()
+		known := nd.Informed()
+		// Status is monotone in the protocol order.
+		if status < prevStatus {
+			return false
+		}
+		// Knowledge of m is never lost.
+		if prevKnown && !known {
+			return false
+		}
+		// Helpers and beyond must know m (they heard it to get there) —
+		// except a node can halt uninformed (the improbable Lemma 4.2
+		// event), so only Helper implies knowledge.
+		if status == protocol.Helper && !known {
+			return false
+		}
+		prevStatus, prevKnown = status, known
+	}
+	return true
+}
+
+func TestQuickNodeStateMachines(t *testing.T) {
+	params := Sim()
+	makers := map[string]func(seed uint64, source bool) protocol.Node{
+		"core": func(seed uint64, source bool) protocol.Node {
+			alg, _ := NewMultiCastCore(params, 64, 1000)
+			return alg.NewNode(1, source, rng.New(seed))
+		},
+		"mcast": func(seed uint64, source bool) protocol.Node {
+			alg, _ := NewMultiCast(params, 64)
+			return alg.NewNode(1, source, rng.New(seed))
+		},
+		"mcastC": func(seed uint64, source bool) protocol.Node {
+			alg, _ := NewMultiCastC(params, 64, 8)
+			return alg.NewNode(1, source, rng.New(seed))
+		},
+		"adv": func(seed uint64, source bool) protocol.Node {
+			alg, _ := NewMultiCastAdv(params)
+			return alg.NewNode(1, source, rng.New(seed))
+		},
+		"advC": func(seed uint64, source bool) protocol.Node {
+			alg, _ := NewMultiCastAdvC(params, 4)
+			return alg.NewNode(1, source, rng.New(seed))
+		},
+	}
+	for name, mk := range makers {
+		mk := mk
+		f := func(seed uint64, source bool, script []byte) bool {
+			return driveNode(mk(seed, source), script)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: MultiCastAdv counters obey Nm ≤ N'm and all counters are
+// bounded by the number of delivered feedbacks in the step.
+func TestQuickAdvCounterContainment(t *testing.T) {
+	params := Sim()
+	f := func(seed uint64, script []byte) bool {
+		alg, _ := NewMultiCastAdv(params)
+		nd := alg.NewNode(1, false, rng.New(seed)).(*advNode)
+		delivered := int64(0)
+		for slot, b := range script {
+			if nd.Status() == protocol.Halted {
+				return true
+			}
+			stepBefore := nd.cur.Step
+			nd.Step(int64(slot))
+			if fb := feedbackFromByte(b); fb != nil {
+				nd.Deliver(*fb)
+				if stepBefore == 2 {
+					delivered++
+				}
+			}
+			offsetBefore := nd.offset
+			nd.EndSlot(int64(slot))
+			if nd.cur.Step == 2 && nd.offset > offsetBefore {
+				// Mid-step-two: containment must hold.
+				if nd.nm > nd.nmPrime {
+					return false
+				}
+				if nd.nm+nd.nn+nd.ns > delivered {
+					return false
+				}
+			}
+			if nd.offset == 0 && nd.cur.Step == 2 {
+				// Fresh step two: counters reset.
+				if nd.nm != 0 || nd.nmPrime != 0 || nd.nn != 0 || nd.ns != 0 {
+					return false
+				}
+				delivered = 0
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a halted node's Status and Informed answers are stable even if
+// the engine (incorrectly) kept invoking it — defensive determinism.
+func TestQuickHaltedNodesStayHalted(t *testing.T) {
+	params := Sim()
+	f := func(seed uint64) bool {
+		alg, _ := NewMultiCastCore(params, 64, 0)
+		nd := alg.NewNode(0, true, rng.New(seed))
+		// Quiet iteration → halt.
+		r, _ := alg.IterationLength(), 0
+		for s := int64(0); s < r; s++ {
+			nd.Step(s)
+			nd.EndSlot(s)
+		}
+		if nd.Status() != protocol.Halted {
+			return false
+		}
+		informed := nd.Informed()
+		for s := r; s < r+50; s++ {
+			nd.Step(s)
+			nd.EndSlot(s)
+			if nd.Status() != protocol.Halted || nd.Informed() != informed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"multicast/internal/adversary"
+	"multicast/internal/core"
+	"multicast/internal/protocol"
+	"multicast/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E13",
+		Title: "extension: adaptive (reactive) Eve — the §8 conjecture",
+		Claim: "§8 future work: \"we suspect MultiCast and MultiCastAdv can handle such more powerful adversary with few (or even no) modifications\" — per-slot channel hopping should neutralise reactivity",
+		Run:   runE13,
+	})
+}
+
+func runE13(cfg RunConfig) (Result, error) {
+	const n = 256
+	const budget = int64(100_000)
+	trials := defaultTrials(cfg, 10, 3)
+
+	res := Result{
+		ID:      "E13",
+		Title:   "extension: adaptive (reactive) Eve",
+		Claim:   "§8 conjecture (this is an extension beyond the paper's proofs)",
+		Columns: []string{"adversary", "class", "slots (mean)", "max node cost", "Eve spent", "violations"},
+	}
+
+	type foe struct {
+		adv   adversary.Factory
+		class string
+	}
+	foes := []foe{
+		{adversary.None(), "baseline"},
+		{adversary.BlockFraction(0.5), "oblivious"},
+		{adversary.FullBurst(0), "oblivious"},
+		{adversary.Reactive(0.5), "ADAPTIVE"},
+		{adversary.Reactive(1.0), "ADAPTIVE"},
+		{adversary.Camper(64, 128), "ADAPTIVE"},
+	}
+	if cfg.Quick {
+		foes = []foe{
+			{adversary.FullBurst(0), "oblivious"},
+			{adversary.Reactive(1.0), "ADAPTIVE"},
+		}
+	}
+
+	var oblivSlots, adaptSlots []float64
+	for fi, f := range foes {
+		p, err := measure(sim.Config{
+			N: n,
+			Algorithm: func() (protocol.Algorithm, error) {
+				return core.NewMultiCast(core.Sim(), n)
+			},
+			Adversary: f.adv,
+			Budget:    budget,
+			Seed:      cfg.Seed + uint64(fi)*739,
+			MaxSlots:  1 << 26,
+		}, trials)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Rows = append(res.Rows, []string{
+			f.adv.Name(),
+			f.class,
+			fmtInt(p.Slots.Mean),
+			fmtInt(p.MaxEnergy.Mean),
+			fmtInt(p.EveEnergy.Mean),
+			fmt.Sprintf("%d", violations(p)),
+		})
+		switch f.class {
+		case "oblivious":
+			oblivSlots = append(oblivSlots, p.Slots.Mean)
+		case "ADAPTIVE":
+			adaptSlots = append(adaptSlots, p.Slots.Mean)
+		}
+	}
+	worst := func(xs []float64) float64 {
+		m := 0.0
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	if len(oblivSlots) > 0 && len(adaptSlots) > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"worst adaptive delay / worst oblivious delay = %.2f — values ≤ ~1 support the conjecture that per-slot rehopping makes last-slot knowledge worthless",
+			worst(adaptSlots)/worst(oblivSlots)))
+	}
+	res.Notes = append(res.Notes,
+		"adaptive Eve observes every channel's outcome each slot (delivered/collided/quiet/jammed) and conditions the next jam set on the full history; she still cannot predict fresh coins",
+		"safety invariants must stay at zero even against adaptive strategies")
+	return res, nil
+}

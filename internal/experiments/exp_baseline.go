@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"multicast/internal/adversary"
+	"multicast/internal/core"
+	"multicast/internal/protocol"
+	"multicast/internal/sim"
+	"multicast/internal/singlechan"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E4",
+		Title: "multi-channel MultiCast vs single-channel baseline [GKPPSY14]",
+		Claim: "§1: multiple channels buy a ~n× time speedup (Õ(T/n+1) vs Õ(T+n)) at the same Õ(√(T/n)) energy order",
+		Run:   runE4,
+	})
+}
+
+func runE4(cfg RunConfig) (Result, error) {
+	ns := []int{64, 256}
+	if cfg.Quick {
+		ns = []int{64}
+	}
+	const budget = int64(100_000)
+	trials := defaultTrials(cfg, 5, 2)
+
+	res := Result{
+		ID:      "E4",
+		Title:   "multi-channel MultiCast vs single-channel baseline",
+		Claim:   "§1 headline comparison against Gilbert et al. SPAA 2014",
+		Columns: []string{"n", "algorithm", "channels", "slots (mean)", "max node cost", "Eve spent"},
+	}
+
+	type variant struct {
+		name     string
+		channels string
+		build    func(n int) func() (protocol.Algorithm, error)
+	}
+	variants := []variant{
+		{
+			name:     "MultiCast",
+			channels: "n/2",
+			build: func(n int) func() (protocol.Algorithm, error) {
+				return func() (protocol.Algorithm, error) { return core.NewMultiCast(core.Sim(), n) }
+			},
+		},
+		{
+			name:     "SingleChannel",
+			channels: "1",
+			build: func(n int) func() (protocol.Algorithm, error) {
+				return func() (protocol.Algorithm, error) { return singlechan.New(singlechan.DefaultParams(), n) }
+			},
+		},
+	}
+
+	for ni, n := range ns {
+		var slots [2]float64
+		var costs [2]float64
+		for vi, v := range variants {
+			p, err := measure(sim.Config{
+				N:         n,
+				Algorithm: v.build(n),
+				Adversary: adversary.FullBurst(0),
+				Budget:    budget,
+				Seed:      cfg.Seed + uint64(ni*10+vi)*104729,
+				MaxSlots:  1 << 26,
+			}, trials)
+			if err != nil {
+				return Result{}, err
+			}
+			slots[vi] = p.Slots.Mean
+			costs[vi] = p.MaxEnergy.Mean
+			res.Rows = append(res.Rows, []string{
+				fmt.Sprintf("%d", n),
+				v.name,
+				v.channels,
+				fmtInt(p.Slots.Mean),
+				fmtInt(p.MaxEnergy.Mean),
+				fmtInt(p.EveEnergy.Mean),
+			})
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"n=%d: single-channel takes %.0f× longer (theory ~n/2 = %d× against a full-burst jammer); cost ratio %.1f× (theory: same order)",
+			n, slots[1]/slots[0], n/2, costs[1]/costs[0]))
+	}
+	res.Notes = append(res.Notes,
+		"who-wins: multi-channel must dominate time at every n while staying within a small constant in energy")
+	return res, nil
+}

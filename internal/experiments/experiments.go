@@ -1,0 +1,232 @@
+// Package experiments defines the reproduction experiments E1–E14 (see
+// DESIGN.md §3). The paper is a theory paper with no empirical tables, so
+// each experiment operationalises one theorem, lemma, or in-text claim as
+// a measurable workload: a parameter sweep, the adversary the claim is
+// about, and the metric whose scaling shape the claim predicts. The
+// harness prints one table per experiment plus fitted log-log slopes so
+// the measured exponents can be compared with the claimed ones.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multicast/internal/sim"
+	"multicast/internal/stats"
+)
+
+// RunConfig controls how much statistical work an experiment does.
+type RunConfig struct {
+	// Trials per data point. Zero means the experiment's default.
+	Trials int
+	// Seed is the base seed; data points derive their own seeds from it.
+	Seed uint64
+	// Quick trims sweeps to small parameter ranges so the whole suite
+	// finishes in a couple of minutes (used by benchmarks and CI).
+	Quick bool
+}
+
+// Result is a rendered experiment outcome.
+type Result struct {
+	// ID is the experiment identifier (E1…E12).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim is the paper statement being checked.
+	Claim string
+	// Columns are the table headers.
+	Columns []string
+	// Rows are the formatted table cells.
+	Rows [][]string
+	// Notes carry fitted slopes and pass/fail observations.
+	Notes []string
+}
+
+// Experiment is a runnable reproduction experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(cfg RunConfig) (Result, error)
+}
+
+// registry is populated by the per-experiment files' init functions.
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return idOrder(out[i].ID) < idOrder(out[j].ID) })
+	return out
+}
+
+// idOrder maps "E10" → 10 for sorting.
+func idOrder(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// Get returns the experiment with the given ID (case-insensitive).
+func Get(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Shared measurement helpers
+
+// point aggregates the trials of one sweep point.
+type point struct {
+	Slots, MaxEnergy, EveEnergy, AllInformed stats.Summary
+	Invariants                               sim.InvariantCounts
+}
+
+// measure runs trials of cfg and aggregates the headline metrics.
+func measure(cfg sim.Config, trials int) (point, error) {
+	ms, err := sim.RunTrials(cfg, trials)
+	if err != nil {
+		return point{}, err
+	}
+	var p point
+	slots := make([]int64, len(ms))
+	maxE := make([]int64, len(ms))
+	eveE := make([]int64, len(ms))
+	informed := make([]int64, len(ms))
+	for i, m := range ms {
+		slots[i] = m.Slots
+		maxE[i] = m.MaxNodeEnergy
+		eveE[i] = m.EveEnergy
+		informed[i] = m.AllInformedSlot
+		p.Invariants.Add(m.Invariants)
+	}
+	p.Slots = stats.SummarizeInts(slots)
+	p.MaxEnergy = stats.SummarizeInts(maxE)
+	p.EveEnergy = stats.SummarizeInts(eveE)
+	p.AllInformed = stats.SummarizeInts(informed)
+	return p, nil
+}
+
+// defaultTrials resolves the trial count.
+func defaultTrials(cfg RunConfig, def, quick int) int {
+	if cfg.Trials > 0 {
+		return cfg.Trials
+	}
+	if cfg.Quick {
+		return quick
+	}
+	return def
+}
+
+// fmtInt renders a float that represents a count.
+func fmtInt(v float64) string {
+	switch {
+	case v >= 1e7:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// fmtSlope renders a fitted exponent with its R².
+func fmtSlope(f stats.Fit) string {
+	return fmt.Sprintf("%.2f (R²=%.3f)", f.Slope, f.R2)
+}
+
+// Render formats the result as an aligned text table.
+func (r Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "paper claim: %s\n", r.Claim)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown formats the result as a GitHub-flavoured markdown table.
+func (r Result) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "*Paper claim:* %s\n\n", r.Claim)
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(r.Columns, " | "))
+	b.WriteString("|")
+	for range r.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	if len(r.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// CSV formats the result as RFC-4180-ish CSV (quotes only where needed).
+func (r Result) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

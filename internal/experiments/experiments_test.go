@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(all))
+	}
+	for i, e := range all {
+		want := i + 1
+		if idOrder(e.ID) != want {
+			t.Errorf("position %d holds %s, want E%d (sorted order)", i, e.ID, want)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s is missing metadata or a Run function", e.ID)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	for _, id := range []string{"E1", "e1", "E12", "e11"} {
+		if _, ok := Get(id); !ok {
+			t.Errorf("Get(%q) failed", id)
+		}
+	}
+	if _, ok := Get("E99"); ok {
+		t.Error("Get(E99) succeeded")
+	}
+}
+
+func TestRenderAndMarkdown(t *testing.T) {
+	r := Result{
+		ID: "EX", Title: "demo", Claim: "claims",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	text := r.Render()
+	for _, want := range []string{"EX — demo", "a note", "333"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Render missing %q:\n%s", want, text)
+		}
+	}
+	md := r.Markdown()
+	for _, want := range []string{"### EX", "| a | bb |", "| 333 | 4 |", "- a note"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestQuickExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment execution is slow")
+	}
+	// The cheap experiments run end-to-end in quick mode; the expensive
+	// MultiCastAdv ones (E5, E7, E11's Adv rows) are exercised by the
+	// benchmark harness instead.
+	for _, id := range []string{"E2", "E4", "E6", "E8", "E9", "E10", "E12", "E13"} {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		res, err := e.Run(RunConfig{Quick: true, Trials: 2, Seed: 7})
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if len(res.Rows) == 0 || len(res.Columns) == 0 {
+			t.Errorf("%s produced an empty table", id)
+		}
+		for _, row := range res.Rows {
+			if len(row) != len(res.Columns) {
+				t.Errorf("%s: row width %d != %d columns", id, len(row), len(res.Columns))
+			}
+		}
+		if res.Render() == "" || res.Markdown() == "" {
+			t.Errorf("%s renders empty", id)
+		}
+	}
+}
+
+func TestE3ProducesSlopes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment execution is slow")
+	}
+	e, _ := Get("E3")
+	res, err := e.Run(RunConfig{Quick: true, Trials: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Notes) < 2 {
+		t.Fatalf("E3 must report both slope fits, got notes %v", res.Notes)
+	}
+	for _, n := range res.Notes {
+		if !strings.Contains(n, "slope") {
+			continue
+		}
+		if !strings.Contains(n, "R²") {
+			t.Errorf("slope note lacks a fit quality: %q", n)
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtInt(12.34); got != "12.3" {
+		t.Errorf("fmtInt(12.34) = %q", got)
+	}
+	if got := fmtInt(123456); got != "123456" {
+		t.Errorf("fmtInt(123456) = %q", got)
+	}
+	if !strings.Contains(fmtInt(3.2e7), "e+07") {
+		t.Errorf("fmtInt(3.2e7) = %q", fmtInt(3.2e7))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	r := Result{
+		Columns: []string{"a", "b,with comma"},
+		Rows:    [][]string{{"1", `say "hi"`}, {"2", "plain"}},
+	}
+	got := r.CSV()
+	want := "a,\"b,with comma\"\n1,\"say \"\"hi\"\"\"\n2,plain\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}

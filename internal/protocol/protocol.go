@@ -1,0 +1,118 @@
+// Package protocol defines the interface between the simulation engine and
+// the broadcast algorithms. Algorithms are synchronous state machines: in
+// every slot each active node chooses an action (idle, listen, broadcast),
+// the shared medium resolves, listeners receive feedback, and the node
+// performs end-of-slot bookkeeping (counter updates, iteration-boundary
+// termination checks, status transitions).
+package protocol
+
+import (
+	"fmt"
+
+	"multicast/internal/radio"
+	"multicast/internal/rng"
+)
+
+// Kind enumerates the per-slot choices the model offers a node.
+type Kind uint8
+
+const (
+	// Idle costs nothing and observes nothing.
+	Idle Kind = iota
+	// Listen observes one channel for one energy unit.
+	Listen
+	// Broadcast transmits on one channel for one energy unit, with no
+	// feedback to the broadcaster.
+	Broadcast
+)
+
+// String returns a human-readable action kind.
+func (k Kind) String() string {
+	switch k {
+	case Idle:
+		return "idle"
+	case Listen:
+		return "listen"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Action is a node's choice for one slot. Channel is 0-based and must be
+// below the schedule's channel count for the slot; it is ignored for Idle.
+// Payload is used only for Broadcast.
+type Action struct {
+	Kind    Kind
+	Channel int
+	Payload radio.Payload
+}
+
+// Status is a node's protocol state, following the paper's terminology.
+// MultiCastCore and MultiCast only use Uninformed/Informed/Halted;
+// MultiCastAdv adds the intermediate Helper stage.
+type Status uint8
+
+const (
+	// Uninformed nodes do not yet know the message m.
+	Uninformed Status = iota
+	// Informed nodes know m and participate in dissemination.
+	Informed
+	// Helper nodes (MultiCastAdv) know m, have passed the helper checks,
+	// and are waiting for a quiet phase to halt.
+	Helper
+	// Halted nodes have terminated and take no further actions.
+	Halted
+)
+
+// String returns the paper's name for the status.
+func (s Status) String() string {
+	switch s {
+	case Uninformed:
+		return "uninformed"
+	case Informed:
+		return "informed"
+	case Helper:
+		return "helper"
+	case Halted:
+		return "halted"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Node is one honest node's protocol state machine. The engine calls, in
+// slot order: Step (once, while not halted), then Deliver (iff Step chose
+// Listen), then EndSlot (once). After EndSlot returns, the engine reads
+// Status() to detect halting and status transitions.
+type Node interface {
+	// Step returns the node's action for the given slot.
+	Step(slot int64) Action
+	// Deliver hands the node the feedback for its Listen in this slot.
+	Deliver(fb radio.Feedback)
+	// EndSlot finishes the slot; termination and status changes happen here.
+	EndSlot(slot int64)
+	// Status returns the node's current protocol state.
+	Status() Status
+	// Informed reports whether the node knows the message m (true for
+	// Informed, Helper, and for Halted nodes that knew m when halting).
+	Informed() bool
+}
+
+// Algorithm builds the per-node state machines for one execution and
+// exposes the channel schedule. All algorithms in the paper are
+// channel-uniform (Section 7): the set of channels potentially in use in a
+// slot is the same for every active node and depends only on the slot
+// index, so the engine and the (oblivious) adversary may query it without
+// observing the execution.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// NewNode returns the state machine for node id. Exactly one node per
+	// execution is the source. r is the node's private random stream.
+	NewNode(id int, source bool, r *rng.Source) Node
+	// Channels returns the number of channels the algorithm may use in
+	// the given slot (≥ 1).
+	Channels(slot int64) int
+}

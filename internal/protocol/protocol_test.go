@@ -1,0 +1,47 @@
+package protocol
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		Idle:      "idle",
+		Listen:    "listen",
+		Broadcast: "broadcast",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind %d String = %q, want %q", k, got, want)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown Kind must render")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	cases := map[Status]string{
+		Uninformed: "uninformed",
+		Informed:   "informed",
+		Helper:     "helper",
+		Halted:     "halted",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Status %d String = %q, want %q", s, got, want)
+		}
+	}
+	if Status(200).String() == "" {
+		t.Error("unknown Status must render")
+	}
+}
+
+func TestStatusOrdering(t *testing.T) {
+	// The engine relies on the zero value being Uninformed and on the
+	// progression order for invariant checks.
+	if Uninformed != 0 {
+		t.Error("zero value must be Uninformed")
+	}
+	if !(Uninformed < Informed && Informed < Helper && Helper < Halted) {
+		t.Error("status constants must be ordered by protocol progression")
+	}
+}

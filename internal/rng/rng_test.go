@@ -1,0 +1,336 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the splitmix64 reference
+	// implementation (Vigna).
+	sm := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+	}
+	for i, w := range want {
+		if got := sm.Next(); got != w {
+			t.Fatalf("splitmix64(seed=0) draw %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("same-seed streams diverge at draw %d: %#x vs %#x", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestReseedResets(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("reseeded stream diverges at draw %d", i)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(42)
+	for _, n := range []uint64{1, 2, 3, 7, 64, 1000, 1 << 40} {
+		for i := 0; i < 1000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Intn(%d) did not panic", n)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+func TestRangeInclusive(t *testing.T) {
+	r := New(9)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.Range(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("Range(3,6) = %d out of bounds", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 6; v++ {
+		if !seen[v] {
+			t.Errorf("Range(3,6) never produced %d in 10k draws", v)
+		}
+	}
+}
+
+func TestRangeSingleton(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100; i++ {
+		if v := r.Range(5, 5); v != 5 {
+			t.Fatalf("Range(5,5) = %d", v)
+		}
+	}
+}
+
+func TestRangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(2,1) did not panic")
+		}
+	}()
+	New(1).Range(2, 1)
+}
+
+func TestCoinMatchesPseudocodeConvention(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 65)
+	for i := 0; i < 64_000; i++ {
+		c := r.Coin(64)
+		if c < 1 || c > 64 {
+			t.Fatalf("Coin(64) = %d out of [1,64]", c)
+		}
+		counts[c]++
+	}
+	// Each face has expectation 1000; allow generous slack.
+	for face := 1; face <= 64; face++ {
+		if counts[face] < 700 || counts[face] > 1300 {
+			t.Errorf("Coin(64) face %d count %d far from 1000", face, counts[face])
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const draws = 100_000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdgeCases(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(17)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.9} {
+		hits := 0
+		const draws = 200_000
+		for i := 0; i < draws; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / draws
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) rate = %v", p, got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	dst := make([]int, 100)
+	for trial := 0; trial < 50; trial++ {
+		r.Perm(dst)
+		seen := make([]bool, len(dst))
+		for _, v := range dst {
+			if v < 0 || v >= len(dst) || seen[v] {
+				t.Fatalf("Perm produced invalid permutation: %v", dst)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(99)
+	child := parent.Fork()
+	// Child stream should not simply replay the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked stream mirrors parent: %d/100 identical draws", same)
+	}
+}
+
+func TestForkDeterministic(t *testing.T) {
+	a, b := New(99), New(99)
+	ca, cb := a.Fork(), b.Fork()
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatal("Fork is not deterministic across identical parents")
+		}
+	}
+}
+
+func TestUniformityChiSquare(t *testing.T) {
+	// 16-bucket chi-square test on Uint64n(16); df=15, crit(0.999)≈37.7.
+	r := New(1234)
+	const draws = 160_000
+	var buckets [16]int
+	for i := 0; i < draws; i++ {
+		buckets[r.Uint64n(16)]++
+	}
+	expected := float64(draws) / 16
+	var chi2 float64
+	for _, c := range buckets {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 37.7 {
+		t.Errorf("chi-square = %.1f exceeds 0.999 critical value 37.7 (buckets %v)", chi2, buckets)
+	}
+}
+
+// Property: Uint64n(n) < n for arbitrary seeds and moduli.
+func TestQuickUint64nInRange(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			if r.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identical seeds produce identical prefixes regardless of seed.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 32; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Range(lo, hi) stays within [lo, hi].
+func TestQuickRangeBounds(t *testing.T) {
+	f := func(seed uint64, lo int16, span uint8) bool {
+		l, h := int(lo), int(lo)+int(span)
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Range(l, h)
+			if v < l || v > h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64n(12345)
+	}
+	_ = sink
+}
+
+func BenchmarkCoin64(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Coin(64)
+	}
+	_ = sink
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"multicast/internal/adversary"
+	"multicast/internal/core"
+	"multicast/internal/protocol"
+)
+
+// BenchmarkSlotLoop measures the engine's per-node-slot cost with an
+// active MultiCast population and a fraction jammer.
+func BenchmarkSlotLoop(b *testing.B) {
+	const n = 256
+	var nodeSlots int64
+	for i := 0; i < b.N; i++ {
+		m, err := Run(Config{
+			N: n,
+			Algorithm: func() (protocol.Algorithm, error) {
+				return core.NewMultiCast(core.Sim(), n)
+			},
+			Adversary: adversary.BlockFraction(0.5),
+			Budget:    20_000,
+			Seed:      uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodeSlots += m.Slots * n
+	}
+	b.ReportMetric(float64(nodeSlots)/b.Elapsed().Seconds(), "node-slots/s")
+}
+
+// BenchmarkSlotLoopAdaptive measures the observation overhead the §8
+// adaptive extension adds to every slot.
+func BenchmarkSlotLoopAdaptive(b *testing.B) {
+	const n = 256
+	var nodeSlots int64
+	for i := 0; i < b.N; i++ {
+		m, err := Run(Config{
+			N: n,
+			Algorithm: func() (protocol.Algorithm, error) {
+				return core.NewMultiCast(core.Sim(), n)
+			},
+			Adversary: adversary.Reactive(0.5),
+			Budget:    20_000,
+			Seed:      uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodeSlots += m.Slots * n
+	}
+	b.ReportMetric(float64(nodeSlots)/b.Elapsed().Seconds(), "node-slots/s")
+}
+
+// BenchmarkRunTrialsParallel measures trial-level scaling across cores.
+func BenchmarkRunTrialsParallel(b *testing.B) {
+	const n = 128
+	cfg := Config{
+		N: n,
+		Algorithm: func() (protocol.Algorithm, error) {
+			return core.NewMultiCast(core.Sim(), n)
+		},
+		Adversary: adversary.FullBurst(0),
+		Budget:    20_000,
+		Seed:      1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTrials(cfg, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

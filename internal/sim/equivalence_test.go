@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multicast/internal/adversary"
+	"multicast/internal/core"
+	"multicast/internal/protocol"
+)
+
+// TestMultiCastCFullSpectrumEquivalence: with C = n/2 the simulation layer
+// of Figure 5 degenerates to rounds of one slot, so MultiCast(C = n/2)
+// must reproduce MultiCast *exactly* — same random draws, same actions,
+// same metrics — for any seed. This pins the simulation mechanism to its
+// specification: "AC can perfectly simulate A".
+func TestMultiCastCFullSpectrumEquivalence(t *testing.T) {
+	const n = 64
+	for seed := uint64(1); seed <= 5; seed++ {
+		base := Config{
+			N: n,
+			Algorithm: func() (protocol.Algorithm, error) {
+				return core.NewMultiCast(core.Sim(), n)
+			},
+			Adversary: adversary.RandomFraction(0.4),
+			Budget:    20_000,
+			Seed:      seed,
+		}
+		want, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base.Algorithm = func() (protocol.Algorithm, error) {
+			return core.NewMultiCastC(core.Sim(), n, n/2)
+		}
+		got, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: MultiCast(C=n/2) diverges from MultiCast:\n got %+v\nwant %+v", seed, got, want)
+		}
+	}
+}
+
+// TestMultiCastCSlowdownFactor: halving C doubles wall-clock slots but
+// leaves the *round* count (and hence each node's energy) distributionally
+// unchanged. Check the deterministic part: the slot count of a jam-free run
+// with C channels is exactly (n/2C) × the C = n/2 slot count for the same
+// seed, because the round structure is rigid.
+func TestMultiCastCSlowdownFactor(t *testing.T) {
+	const n = 64
+	base := int64(0)
+	for _, c := range []int{32, 16, 8, 4} {
+		cc := c
+		m, err := Run(Config{
+			N: n,
+			Algorithm: func() (protocol.Algorithm, error) {
+				return core.NewMultiCastC(core.Sim(), n, cc)
+			},
+			Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == 32 {
+			base = m.Slots
+			continue
+		}
+		factor := int64(32 / c)
+		if m.Slots != base*factor {
+			t.Errorf("C=%d: slots = %d, want exactly %d×%d (identical rounds, stretched %d×)",
+				c, m.Slots, factor, base, factor)
+		}
+	}
+}
+
+// Property: for random seeds and fractions, Eve never exceeds her budget
+// and metrics stay internally consistent.
+func TestQuickEngineConsistency(t *testing.T) {
+	f := func(seed uint64, fRaw uint8, budRaw uint16) bool {
+		frac := float64(fRaw) / 255
+		budget := int64(budRaw) * 4
+		m, err := Run(Config{
+			N: 16,
+			Algorithm: func() (protocol.Algorithm, error) {
+				return core.NewMultiCastCore(core.Sim(), 16, budget)
+			},
+			Adversary: adversary.RandomFraction(frac),
+			Budget:    budget,
+			Seed:      seed,
+			MaxSlots:  1 << 22,
+		})
+		if err != nil {
+			return false
+		}
+		if m.EveEnergy > budget {
+			return false
+		}
+		if m.AllInformedSlot < 1 || m.AllInformedSlot > m.Slots {
+			return false
+		}
+		if m.FirstHaltSlot < m.AllInformedSlot && m.Invariants.HaltBeforeAllInformed == 0 &&
+			m.Invariants.HaltedUninformed == 0 {
+			// A halt before all-informed must have been flagged; with the
+			// invariant counters at zero the order must be consistent.
+			return false
+		}
+		return float64(m.MaxNodeEnergy) >= m.MeanNodeEnergy && m.MeanNodeEnergy > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

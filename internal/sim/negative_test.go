@@ -1,0 +1,78 @@
+package sim
+
+// Negative controls: the paper's guarantees hold "for sufficiently large"
+// constants, and the Sim preset was tuned so its margins suffice. These
+// tests document that the constants are load-bearing by showing that
+// deliberately broken values produce the failures the analysis predicts.
+// They keep the tuning rationale in params.go falsifiable.
+
+import (
+	"errors"
+	"testing"
+
+	"multicast/internal/adversary"
+	"multicast/internal/core"
+	"multicast/internal/protocol"
+)
+
+// With a tiny iteration constant a, MultiCastCore's iteration R = a·lg T̂
+// has too few listens for the Chernoff bounds of Lemma 4.2: nodes halt on
+// noise-free *small samples* before the epidemic completes. The paper's
+// "sufficiently large a" is exactly what forbids this.
+func TestNegativeControlTinyCoreA(t *testing.T) {
+	params := core.Sim()
+	params.CoreA = 0.5 // R = ⌈0.5·lg n⌉ = 3 slots at n = 64: hopeless
+	violations := 0
+	const trials = 10
+	for seed := uint64(1); seed <= trials; seed++ {
+		m, err := Run(Config{
+			N: 64,
+			Algorithm: func() (protocol.Algorithm, error) {
+				return core.NewMultiCastCore(params, 64, 0)
+			},
+			Seed:     seed,
+			MaxSlots: 1 << 20,
+		})
+		if err != nil && !errors.Is(err, ErrMaxSlots) {
+			t.Fatal(err)
+		}
+		violations += m.Invariants.HaltedUninformed + m.Invariants.HaltBeforeAllInformed
+	}
+	if violations == 0 {
+		t.Error("tiny CoreA produced no premature halts across 10 trials — " +
+			"either the halting rule no longer depends on iteration length, " +
+			"or the invariant auditing broke")
+	}
+}
+
+// With the halting threshold pushed to ~1 (halt unless nearly every listen
+// was noisy), even ongoing jamming cannot stop termination: nodes quit
+// while Eve still has budget and before stragglers are informed. The
+// HaltRatio = 1/2 of Figure 1/2 (R/128 = R·p/2) is what balances
+// "terminate when quiet" against "never strand a straggler".
+func TestNegativeControlHugeHaltRatio(t *testing.T) {
+	params := core.Sim()
+	params.HaltRatio = 0.99
+	violations := 0
+	const trials = 10
+	for seed := uint64(1); seed <= trials; seed++ {
+		m, err := Run(Config{
+			N: 64,
+			Algorithm: func() (protocol.Algorithm, error) {
+				return core.NewMultiCast(params, 64)
+			},
+			Adversary: adversary.BlockFraction(0.9),
+			Budget:    200_000,
+			Seed:      seed,
+			MaxSlots:  1 << 22,
+		})
+		if err != nil && !errors.Is(err, ErrMaxSlots) {
+			t.Fatal(err)
+		}
+		violations += m.Invariants.HaltBeforeAllInformed + m.Invariants.HaltedUninformed
+	}
+	if violations == 0 {
+		t.Error("HaltRatio ≈ 1 caused no premature halts under heavy jamming — " +
+			"the noisy-slot termination rule is not being exercised")
+	}
+}

@@ -1,0 +1,468 @@
+// Package sim is the synchronous execution engine: it advances the slot
+// loop of one execution (adversary → node actions → channel resolution →
+// feedback → end-of-slot bookkeeping), enforces Eve's budget, audits the
+// paper's safety invariants, and collects the metrics the experiments
+// report.
+//
+// One goroutine drives one execution; statistical replication is done by
+// RunTrials, which fans independent seeds out over a worker pool. The
+// engine is deterministic given (Config, Seed): parallel and serial trial
+// runs produce identical per-trial metrics.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"multicast/internal/adversary"
+	"multicast/internal/bitset"
+	"multicast/internal/protocol"
+	"multicast/internal/radio"
+	"multicast/internal/rng"
+)
+
+// Config describes one execution (or one family of trials).
+type Config struct {
+	// N is the number of honest nodes; node 0 is the source.
+	N int
+	// Algorithm builds a fresh protocol instance per trial. Instances may
+	// keep mutable schedule caches, so they must not be shared.
+	Algorithm func() (protocol.Algorithm, error)
+	// Adversary is Eve's strategy family. Nil means no adversary.
+	Adversary adversary.Factory
+	// Budget is Eve's energy budget T.
+	Budget int64
+	// Seed determines all randomness of the trial.
+	Seed uint64
+	// MaxSlots is a hard safety valve: executions exceeding it fail with
+	// ErrMaxSlots. Zero means DefaultMaxSlots.
+	MaxSlots int64
+	// Observer, if non-nil, receives per-slot callbacks (tracing). It
+	// slows the hot loop; leave nil for measurements.
+	Observer Observer
+}
+
+// DefaultMaxSlots bounds runaway executions (~1.3·10⁸ slots).
+const DefaultMaxSlots = int64(1) << 27
+
+// ErrMaxSlots reports that an execution did not terminate within MaxSlots.
+var ErrMaxSlots = errors.New("sim: execution exceeded MaxSlots without terminating")
+
+// Observer receives tracing callbacks. All slots of one execution are
+// reported from a single goroutine.
+type Observer interface {
+	// Slot is called after each slot resolves.
+	Slot(slot int64, channels, jammed, listeners, broadcasters, informed, halted int)
+}
+
+// Metrics summarises one execution.
+type Metrics struct {
+	// Slots is the number of slots until the last node halted.
+	Slots int64
+	// MaxNodeEnergy is max_u cost(u) — the quantity bounded by
+	// resource-competitiveness (Definition 3.1).
+	MaxNodeEnergy int64
+	// SourceEnergy is the source node's cost.
+	SourceEnergy int64
+	// MeanNodeEnergy is the average node cost.
+	MeanNodeEnergy float64
+	// EveEnergy is T(π): what Eve actually spent.
+	EveEnergy int64
+	// AllInformedSlot is the number of slots until every node knew m
+	// (-1 if never).
+	AllInformedSlot int64
+	// FirstHelperSlot is the number of slots until some node reached
+	// helper status (-1 if never; always -1 for Core/MultiCast).
+	FirstHelperSlot int64
+	// FirstHaltSlot is the number of slots until the first halt
+	// (-1 if none halted).
+	FirstHaltSlot int64
+	// Invariants records safety-property violations (all zero in a
+	// correct execution; the paper proves them w.h.p.).
+	Invariants InvariantCounts
+	// HelperJCounts histograms the phase number jˆ at which nodes became
+	// helpers (MultiCastAdv variants only; index = jˆ, capped at the last
+	// bucket). Lemmas 6.1–6.3 predict all mass at jˆ = lg n − 1; the
+	// cut-off variant (Corollary C.1) predicts jˆ = lg C.
+	HelperJCounts [MaxHelperJBucket + 1]int32
+}
+
+// MaxHelperJBucket is the largest tracked jˆ; larger values clamp into it.
+const MaxHelperJBucket = 23
+
+// helperPhaser is implemented by MultiCastAdv nodes: it reports the phase
+// (iˆ, jˆ) recorded at the helper transition.
+type helperPhaser interface {
+	HelperPhase() (i, j int)
+}
+
+// InvariantCounts tallies violations of the paper's safety lemmas.
+type InvariantCounts struct {
+	// HaltedUninformed counts nodes that halted without knowing m
+	// (violates Lemma 4.2 / 5.2 / Theorem 6.10(a)).
+	HaltedUninformed int
+	// HaltBeforeAllInformed counts halt events that happened while some
+	// node was still uninformed at the end of the slot (Lemmas 4.2/5.2).
+	HaltBeforeAllInformed int
+	// HelperBeforeAllInformed counts helper transitions while some node
+	// was still uninformed (Lemma 6.4).
+	HelperBeforeAllInformed int
+	// HaltBeforeAllHelpers counts halts of helper nodes while some
+	// active node had not reached helper status (Lemma 6.5); it only
+	// applies to MultiCastAdv variants.
+	HaltBeforeAllHelpers int
+}
+
+// Add accumulates counts (used when aggregating trials).
+func (c *InvariantCounts) Add(other InvariantCounts) {
+	c.HaltedUninformed += other.HaltedUninformed
+	c.HaltBeforeAllInformed += other.HaltBeforeAllInformed
+	c.HelperBeforeAllInformed += other.HelperBeforeAllInformed
+	c.HaltBeforeAllHelpers += other.HaltBeforeAllHelpers
+}
+
+// Any reports whether any invariant was violated.
+func (c InvariantCounts) Any() bool {
+	return c.HaltedUninformed != 0 || c.HaltBeforeAllInformed != 0 ||
+		c.HelperBeforeAllInformed != 0 || c.HaltBeforeAllHelpers != 0
+}
+
+// Run executes one trial to completion.
+func Run(cfg Config) (Metrics, error) {
+	ex, err := newExecution(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return ex.run()
+}
+
+// transition records a node's status change within one slot.
+type transition struct {
+	id            int
+	before, after protocol.Status
+}
+
+// execution is the mutable state of one trial.
+type execution struct {
+	cfg      Config
+	alg      protocol.Algorithm
+	nodes    []protocol.Node
+	adv      adversary.Strategy
+	adaptive adversary.Adaptive   // non-nil iff adv is adaptive (§8 extension)
+	activity []adversary.Activity // reusable observation buffer
+
+	net       *radio.Network
+	mask      *bitset.Set
+	remaining int64 // Eve's remaining budget
+
+	active      []int // ids of non-halted nodes
+	listeners   []int // ids that listen this slot
+	channels    []int // channel per listener, parallel to listeners
+	prevStatus  []protocol.Status
+	transitions []transition
+
+	informedCount int
+	helperSeen    bool
+	haltedCount   int
+
+	metrics Metrics
+}
+
+func newExecution(cfg Config) (*execution, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 nodes, got %d", cfg.N)
+	}
+	if cfg.Algorithm == nil {
+		return nil, errors.New("sim: Config.Algorithm is required")
+	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("sim: negative budget %d", cfg.Budget)
+	}
+	alg, err := cfg.Algorithm()
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	advFactory := cfg.Adversary
+	if advFactory == nil {
+		advFactory = adversary.None()
+	}
+
+	ex := &execution{
+		cfg:       cfg,
+		alg:       alg,
+		adv:       advFactory.New(root.Fork()),
+		remaining: cfg.Budget,
+		metrics: Metrics{
+			AllInformedSlot: -1,
+			FirstHelperSlot: -1,
+			FirstHaltSlot:   -1,
+		},
+	}
+	ex.nodes = make([]protocol.Node, cfg.N)
+	ex.active = make([]int, 0, cfg.N)
+	ex.prevStatus = make([]protocol.Status, cfg.N)
+	for id := 0; id < cfg.N; id++ {
+		ex.nodes[id] = alg.NewNode(id, id == 0, root.Fork())
+		ex.active = append(ex.active, id)
+		if ex.nodes[id].Informed() {
+			ex.informedCount++
+		}
+	}
+	// The paper's theorems assume an oblivious Eve; adaptive strategies
+	// (the §8 future-work extension) opt in via the Adaptive interface
+	// and receive per-slot channel observations.
+	ex.adaptive, _ = ex.adv.(adversary.Adaptive)
+	ex.net = radio.NewNetwork(cfg.N, alg.Channels(0))
+	ex.mask = bitset.New(alg.Channels(0))
+	ex.listeners = make([]int, 0, cfg.N)
+	ex.channels = make([]int, 0, cfg.N)
+	ex.transitions = make([]transition, 0, cfg.N)
+	return ex, nil
+}
+
+func (ex *execution) run() (Metrics, error) {
+	maxSlots := ex.cfg.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = DefaultMaxSlots
+	}
+	for slot := int64(0); ; slot++ {
+		if slot >= maxSlots {
+			ex.fillMetrics(slot)
+			return ex.metrics, fmt.Errorf("%w (slot %d, algorithm %s)", ErrMaxSlots, slot, ex.alg.Name())
+		}
+		ex.stepSlot(slot)
+		if ex.haltedCount == ex.cfg.N {
+			ex.fillMetrics(slot + 1)
+			return ex.metrics, nil
+		}
+	}
+}
+
+// stepSlot advances one slot of the execution.
+func (ex *execution) stepSlot(slot int64) {
+	channels := ex.alg.Channels(slot)
+
+	// Eve's jam set is fixed before node actions resolve (obliviousness),
+	// truncated to her remaining budget.
+	jamCount := 0
+	if ex.remaining > 0 {
+		ex.mask.Grow(channels)
+		// The mask is clean here: it starts clean and is re-cleaned after
+		// any slot that set bits, so quiet slots skip the O(channels) wipe.
+		jamCount = ex.adv.Fill(slot, channels, ex.mask)
+		if int64(jamCount) > ex.remaining {
+			jamCount = adversary.Truncate(ex.mask, channels, jamCount, int(ex.remaining))
+		}
+		ex.remaining -= int64(jamCount)
+	}
+	var jam *bitset.Set
+	if jamCount > 0 {
+		jam = ex.mask
+		defer ex.mask.Reset()
+	}
+	ex.net.BeginSlot(slot, channels, jam, jamCount)
+
+	// Phase 1: every broadcast registers before any listen resolves —
+	// the model's transmissions are simultaneous within a slot.
+	ex.listeners = ex.listeners[:0]
+	ex.channels = ex.channels[:0]
+	broadcasters := 0
+	for _, id := range ex.active {
+		nd := ex.nodes[id]
+		ex.prevStatus[id] = nd.Status()
+		act := nd.Step(slot)
+		switch act.Kind {
+		case protocol.Broadcast:
+			ex.net.Broadcast(id, act.Channel, act.Payload)
+			broadcasters++
+		case protocol.Listen:
+			ex.listeners = append(ex.listeners, id)
+			ex.channels = append(ex.channels, act.Channel)
+		}
+	}
+
+	// Phase 2: listeners observe the resolved channels.
+	for k, id := range ex.listeners {
+		fb := ex.net.Listen(id, ex.channels[k])
+		ex.nodes[id].Deliver(fb)
+	}
+	ex.net.EndSlot()
+
+	// An adaptive Eve senses every channel's activity after the slot.
+	if ex.adaptive != nil {
+		ex.observe(slot, channels, jam)
+	}
+
+	// Phase 3: end-of-slot bookkeeping and status transitions.
+	ex.transitions = ex.transitions[:0]
+	out := ex.active[:0]
+	for _, id := range ex.active {
+		nd := ex.nodes[id]
+		nd.EndSlot(slot)
+		after := nd.Status()
+		if before := ex.prevStatus[id]; after != before {
+			ex.transitions = append(ex.transitions, transition{id: id, before: before, after: after})
+		}
+		if after != protocol.Halted {
+			out = append(out, id)
+		}
+	}
+	ex.active = out
+
+	// Informedness first: all of this slot's transitions count as
+	// simultaneous, matching the lemmas' "by the end of the iteration".
+	for _, tr := range ex.transitions {
+		if tr.before == protocol.Uninformed && ex.nodes[tr.id].Informed() {
+			ex.informedCount++
+		}
+	}
+	if ex.informedCount == ex.cfg.N && ex.metrics.AllInformedSlot < 0 {
+		ex.metrics.AllInformedSlot = slot + 1
+	}
+	// Then the helper/halt events and their safety invariants.
+	for _, tr := range ex.transitions {
+		ex.noteTransition(tr, slot)
+	}
+
+	if ex.cfg.Observer != nil {
+		ex.cfg.Observer.Slot(slot, channels, jamCount, len(ex.listeners), broadcasters, ex.informedCount, ex.haltedCount)
+	}
+}
+
+// observe reports the slot's per-channel activity to an adaptive Eve.
+func (ex *execution) observe(slot int64, channels int, jam *bitset.Set) {
+	if cap(ex.activity) < channels {
+		ex.activity = make([]adversary.Activity, channels)
+	}
+	act := ex.activity[:channels]
+	for ch := 0; ch < channels; ch++ {
+		switch {
+		case jam != nil && jam.Test(ch):
+			act[ch] = adversary.Jammed
+		case ex.net.BroadcastersOn(ch) == 0:
+			act[ch] = adversary.Quiet
+		case ex.net.BroadcastersOn(ch) == 1:
+			act[ch] = adversary.Delivered
+		default:
+			act[ch] = adversary.Collided
+		}
+	}
+	ex.adaptive.Observe(slot, act)
+}
+
+// noteTransition updates event metrics and audits the safety invariants.
+func (ex *execution) noteTransition(tr transition, slot int64) {
+	switch tr.after {
+	case protocol.Helper:
+		ex.helperSeen = true
+		if ex.metrics.FirstHelperSlot < 0 {
+			ex.metrics.FirstHelperSlot = slot + 1
+		}
+		if ex.informedCount < ex.cfg.N {
+			ex.metrics.Invariants.HelperBeforeAllInformed++
+		}
+	case protocol.Halted:
+		ex.haltedCount++
+		if ex.metrics.FirstHaltSlot < 0 {
+			ex.metrics.FirstHaltSlot = slot + 1
+		}
+		if !ex.nodes[tr.id].Informed() {
+			ex.metrics.Invariants.HaltedUninformed++
+		}
+		if ex.informedCount < ex.cfg.N {
+			ex.metrics.Invariants.HaltBeforeAllInformed++
+		}
+		// Lemma 6.5: in helper-capable algorithms, a halt implies every
+		// node has progressed to helper (or halted) by this slot's end.
+		if tr.before == protocol.Helper && !ex.allReachedHelper() {
+			ex.metrics.Invariants.HaltBeforeAllHelpers++
+		}
+	}
+}
+
+// allReachedHelper reports whether every node is Helper or Halted.
+func (ex *execution) allReachedHelper() bool {
+	for _, nd := range ex.nodes {
+		if s := nd.Status(); s != protocol.Helper && s != protocol.Halted {
+			return false
+		}
+	}
+	return true
+}
+
+func (ex *execution) fillMetrics(slots int64) {
+	ex.metrics.Slots = slots
+	energies := ex.net.NodeEnergies()
+	var sum int64
+	for _, e := range energies {
+		sum += e
+		if e > ex.metrics.MaxNodeEnergy {
+			ex.metrics.MaxNodeEnergy = e
+		}
+	}
+	ex.metrics.SourceEnergy = energies[0]
+	ex.metrics.MeanNodeEnergy = float64(sum) / float64(len(energies))
+	ex.metrics.EveEnergy = ex.net.EveEnergy()
+	for _, nd := range ex.nodes {
+		hp, ok := nd.(helperPhaser)
+		if !ok {
+			continue
+		}
+		// Halted MultiCastAdv nodes necessarily passed through helper;
+		// active helpers report directly. Nodes that never reached
+		// helper have no recorded phase.
+		if s := nd.Status(); s != protocol.Helper && s != protocol.Halted {
+			continue
+		}
+		_, j := hp.HelperPhase()
+		if j < 0 {
+			continue
+		}
+		if j > MaxHelperJBucket {
+			j = MaxHelperJBucket
+		}
+		ex.metrics.HelperJCounts[j]++
+	}
+}
+
+// RunTrials executes independent trials with seeds baseSeed, baseSeed+1, …
+// and returns their metrics in seed order. Trials run in parallel on up to
+// GOMAXPROCS workers; the first error (by seed order) aborts the batch.
+func RunTrials(cfg Config, trials int) ([]Metrics, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: trials = %d must be positive", trials)
+	}
+	results := make([]Metrics, trials)
+	errs := make([]error, trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				c := cfg
+				c.Seed = cfg.Seed + uint64(t)
+				results[t], errs[t] = Run(c)
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,158 @@
+// Package stats aggregates per-trial metrics into summaries and provides
+// the log-log slope fits the experiment harness uses to compare measured
+// scaling exponents with the paper's theorems.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes the distribution of one scalar metric across trials.
+type Summary struct {
+	Count                 int
+	Mean, Std             float64
+	Min, Max              float64
+	Median, P25, P75, P95 float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty slice.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty slice")
+	}
+	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P25 = Quantile(sorted, 0.25)
+	s.P75 = Quantile(sorted, 0.75)
+	s.P95 = Quantile(sorted, 0.95)
+	return s
+}
+
+// SummarizeInts converts and summarizes integer samples.
+func SummarizeInts(xs []int64) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of sorted (ascending) data
+// using linear interpolation. It panics on empty input.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.3g min=%.4g med=%.4g p95=%.4g max=%.4g",
+		s.Count, s.Mean, s.Std, s.Min, s.Median, s.P95, s.Max)
+}
+
+// Fit is an ordinary least-squares line y = Slope·x + Intercept with the
+// coefficient of determination.
+type Fit struct {
+	Slope, Intercept, R2 float64
+}
+
+// LinearFit fits y = a·x + b by least squares. It panics unless
+// len(xs) == len(ys) ≥ 2 and the xs are not all equal.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: LinearFit needs two equal-length samples of size ≥ 2")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: LinearFit with constant x")
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit
+}
+
+// LogLogSlope fits log₂(y) against log₂(x) and returns the power-law
+// exponent: y ∝ x^Slope. Points with non-positive coordinates are skipped;
+// it panics if fewer than two remain.
+func LogLogSlope(xs, ys []float64) Fit {
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log2(xs[i]))
+			ly = append(ly, math.Log2(ys[i]))
+		}
+	}
+	return LinearFit(lx, ly)
+}
+
+// GeoMean returns the geometric mean of positive samples; it panics if the
+// slice is empty or any sample is non-positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: GeoMean of empty slice")
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean of non-positive sample")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"multicast/internal/core"
+	"multicast/internal/protocol"
+	"multicast/internal/sim"
+)
+
+func TestRecorderSamples(t *testing.T) {
+	r := NewRecorder(10)
+	for slot := int64(0); slot < 100; slot++ {
+		r.Slot(slot, 32, int(slot%5), 3, 2, int(slot), 0)
+	}
+	if r.Slots() != 100 {
+		t.Fatalf("Slots = %d, want 100", r.Slots())
+	}
+	if len(r.Jammed.Values) != 10 {
+		t.Fatalf("10 strides expected, got %d", len(r.Jammed.Values))
+	}
+	// Monotone curves keep the latest value within a stride.
+	if got := r.Informed.Values[0]; got != 9 {
+		t.Errorf("informed stride 0 = %v, want 9 (last slot of the stride)", got)
+	}
+	// Activity curves sample the stride's first slot.
+	if got := r.Jammed.Values[3]; got != 0 {
+		t.Errorf("jammed stride 3 = %v, want 0 (slot 30 %% 5)", got)
+	}
+}
+
+func TestRecorderStrideClamp(t *testing.T) {
+	r := NewRecorder(0)
+	r.Slot(0, 1, 0, 0, 0, 1, 0)
+	if len(r.Informed.Values) != 1 {
+		t.Fatal("stride 0 must clamp to 1")
+	}
+}
+
+func TestSeriesAtAndMax(t *testing.T) {
+	s := &Series{Name: "x", Stride: 5, Values: []float64{1, 4, 2}}
+	cases := map[int64]float64{0: 1, 4: 1, 5: 4, 9: 4, 10: 2, 999: 2, -3: 1}
+	for slot, want := range cases {
+		if got := s.At(slot); got != want {
+			t.Errorf("At(%d) = %v, want %v", slot, got, want)
+		}
+	}
+	if s.Max() != 4 {
+		t.Errorf("Max = %v", s.Max())
+	}
+	empty := &Series{Stride: 1}
+	if empty.At(3) != 0 || empty.Max() != 0 {
+		t.Error("empty series must return zeros")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := &Series{Name: "ramp", Stride: 1, Values: []float64{0, 1, 2, 3, 4, 5, 6, 7}}
+	line := Sparkline(s, 8)
+	runes := []rune(line)
+	if len(runes) != 8 {
+		t.Fatalf("width %d, want 8", len(runes))
+	}
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("ramp endpoints wrong: %q", line)
+	}
+	if Sparkline(s, 0) != "" || Sparkline(&Series{Stride: 1}, 5) != "" {
+		t.Error("degenerate inputs must render empty")
+	}
+	flat := &Series{Stride: 1, Values: []float64{0, 0, 0}}
+	if got := Sparkline(flat, 3); got != "▁▁▁" {
+		t.Errorf("all-zero series = %q", got)
+	}
+}
+
+func TestChart(t *testing.T) {
+	a := &Series{Name: "aa", Stride: 2, Values: []float64{1, 2}}
+	b := &Series{Name: "b", Stride: 2, Values: []float64{5}}
+	out := Chart(10, a, b)
+	if !strings.Contains(out, "aa") || !strings.Contains(out, "max=5") {
+		t.Fatalf("chart missing content:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Fatalf("chart must have one line per series:\n%s", out)
+	}
+}
+
+func TestRecorderAgainstEngine(t *testing.T) {
+	// The recorder's informed curve must reach n and be non-decreasing
+	// when attached to a real execution.
+	rec := NewRecorder(8)
+	m, err := sim.Run(sim.Config{
+		N: 64,
+		Algorithm: func() (protocol.Algorithm, error) {
+			return core.NewMultiCastCore(core.Sim(), 64, 0)
+		},
+		Seed:     5,
+		Observer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Slots() != m.Slots {
+		t.Fatalf("recorder saw %d slots, metrics %d", rec.Slots(), m.Slots)
+	}
+	prev := 0.0
+	for i, v := range rec.Informed.Values {
+		if v < prev {
+			t.Fatalf("informed curve decreased at stride %d: %v < %v", i, v, prev)
+		}
+		prev = v
+	}
+	if rec.Informed.Max() != 64 {
+		t.Fatalf("informed curve peaks at %v, want 64", rec.Informed.Max())
+	}
+}

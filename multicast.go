@@ -1,0 +1,173 @@
+package multicast
+
+import (
+	"fmt"
+	"strings"
+
+	"multicast/internal/adversary"
+	"multicast/internal/core"
+	"multicast/internal/protocol"
+	"multicast/internal/sim"
+	"multicast/internal/singlechan"
+)
+
+// Params are the algorithm constants; see SimParams and PaperParams.
+type Params = core.Params
+
+// SimParams returns constants tuned for laptop-scale simulation while
+// preserving the paper's asymptotic shapes (the default).
+func SimParams() Params { return core.Sim() }
+
+// PaperParams returns the literal pseudocode constants with the given
+// MultiCastAdv α ∈ (0, 1/4). Faithful to the figures, but the w.h.p.
+// margins make executions enormous; prefer SimParams for experiments.
+func PaperParams(alpha float64) Params { return core.Paper(alpha) }
+
+// Metrics summarises one execution; see the field documentation in the
+// simulation engine.
+type Metrics = sim.Metrics
+
+// InvariantCounts tallies safety-lemma violations (zero in correct runs).
+type InvariantCounts = sim.InvariantCounts
+
+// Observer receives per-slot trace callbacks.
+type Observer = sim.Observer
+
+// Adversary is a jammer strategy family; see the *Jammer constructors.
+type Adversary = adversary.Factory
+
+// ErrMaxSlots reports that an execution hit the MaxSlots safety valve.
+var ErrMaxSlots = sim.ErrMaxSlots
+
+// AlgorithmKind selects one of the implemented protocols.
+type AlgorithmKind string
+
+const (
+	// AlgoMultiCastCore is Figure 1: needs n and T, n/2 channels.
+	AlgoMultiCastCore AlgorithmKind = "multicastcore"
+	// AlgoMultiCast is Figure 2: needs n, n/2 channels (the default).
+	AlgoMultiCast AlgorithmKind = "multicast"
+	// AlgoMultiCastC is Figure 5: MultiCast on Channels physical channels.
+	AlgoMultiCastC AlgorithmKind = "multicast-c"
+	// AlgoMultiCastAdv is Figure 4: needs neither n nor T.
+	AlgoMultiCastAdv AlgorithmKind = "multicastadv"
+	// AlgoMultiCastAdvC is Figure 6: MultiCastAdv cut off at Channels.
+	AlgoMultiCastAdvC AlgorithmKind = "multicastadv-c"
+	// AlgoSingleChannel is the SPAA 2014 single-channel baseline.
+	AlgoSingleChannel AlgorithmKind = "singlechannel"
+)
+
+// Algorithms lists every selectable kind.
+func Algorithms() []AlgorithmKind {
+	return []AlgorithmKind{
+		AlgoMultiCastCore, AlgoMultiCast, AlgoMultiCastC,
+		AlgoMultiCastAdv, AlgoMultiCastAdvC, AlgoSingleChannel,
+	}
+}
+
+// ParseAlgorithm resolves a name (case-insensitive) to an AlgorithmKind.
+func ParseAlgorithm(s string) (AlgorithmKind, error) {
+	for _, k := range Algorithms() {
+		if strings.EqualFold(string(k), s) {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("multicast: unknown algorithm %q (have %v)", s, Algorithms())
+}
+
+// Config describes an execution.
+type Config struct {
+	// N is the number of nodes (a power of two ≥ 2; node 0 is the source).
+	N int
+	// Algorithm picks the protocol; empty means AlgoMultiCast.
+	Algorithm AlgorithmKind
+	// Params are the algorithm constants; the zero value means SimParams.
+	Params Params
+	// KnownT is the T input of MultiCastCore (ignored by the others);
+	// the paper sets it to Eve's budget. Defaults to Budget.
+	KnownT int64
+	// Channels is the physical channel count for the (C) variants.
+	Channels int
+	// Adversary is Eve's strategy; nil means no jamming.
+	Adversary Adversary
+	// Budget is Eve's energy budget T.
+	Budget int64
+	// Seed determines all randomness; same seed ⇒ identical execution.
+	Seed uint64
+	// MaxSlots aborts runaway executions (0 = engine default).
+	MaxSlots int64
+	// Observer, if set, receives per-slot callbacks (slows the run).
+	Observer Observer
+}
+
+// build resolves the Config into an engine config.
+func (cfg Config) build() (sim.Config, error) {
+	params := cfg.Params
+	if params == (Params{}) {
+		params = core.Sim()
+	}
+	kind := cfg.Algorithm
+	if kind == "" {
+		kind = AlgoMultiCast
+	}
+	knownT := cfg.KnownT
+	if knownT == 0 {
+		knownT = cfg.Budget
+	}
+	n := cfg.N
+
+	var builder func() (protocol.Algorithm, error)
+	switch kind {
+	case AlgoMultiCastCore:
+		builder = func() (protocol.Algorithm, error) { return core.NewMultiCastCore(params, n, knownT) }
+	case AlgoMultiCast:
+		builder = func() (protocol.Algorithm, error) { return core.NewMultiCast(params, n) }
+	case AlgoMultiCastC:
+		if cfg.Channels < 1 {
+			return sim.Config{}, fmt.Errorf("multicast: %s needs Channels ≥ 1", kind)
+		}
+		builder = func() (protocol.Algorithm, error) { return core.NewMultiCastC(params, n, cfg.Channels) }
+	case AlgoMultiCastAdv:
+		builder = func() (protocol.Algorithm, error) { return core.NewMultiCastAdv(params) }
+	case AlgoMultiCastAdvC:
+		if cfg.Channels < 1 {
+			return sim.Config{}, fmt.Errorf("multicast: %s needs Channels ≥ 1", kind)
+		}
+		builder = func() (protocol.Algorithm, error) { return core.NewMultiCastAdvC(params, cfg.Channels) }
+	case AlgoSingleChannel:
+		builder = func() (protocol.Algorithm, error) {
+			return singlechan.New(singlechan.DefaultParams(), n)
+		}
+	default:
+		return sim.Config{}, fmt.Errorf("multicast: unknown algorithm %q", kind)
+	}
+
+	return sim.Config{
+		N:         cfg.N,
+		Algorithm: builder,
+		Adversary: cfg.Adversary,
+		Budget:    cfg.Budget,
+		Seed:      cfg.Seed,
+		MaxSlots:  cfg.MaxSlots,
+		Observer:  cfg.Observer,
+	}, nil
+}
+
+// Run executes one broadcast to completion and returns its metrics.
+func Run(cfg Config) (Metrics, error) {
+	sc, err := cfg.build()
+	if err != nil {
+		return Metrics{}, err
+	}
+	return sim.Run(sc)
+}
+
+// RunTrials executes trials independent seeds (Seed, Seed+1, …) in
+// parallel and returns per-trial metrics in seed order.
+func RunTrials(cfg Config, trials int) ([]Metrics, error) {
+	sc, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunTrials(sc, trials)
+}

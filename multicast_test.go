@@ -1,0 +1,186 @@
+package multicast_test
+
+import (
+	"errors"
+	"testing"
+
+	"multicast"
+)
+
+func TestRunDefaultsToMultiCast(t *testing.T) {
+	m, err := multicast.Run(multicast.Config{N: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slots <= 0 || m.AllInformedSlot <= 0 {
+		t.Fatalf("implausible metrics %+v", m)
+	}
+	if m.Invariants.Any() {
+		t.Fatalf("invariant violations %+v", m.Invariants)
+	}
+}
+
+func TestRunEveryAlgorithm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Adv variants are slow")
+	}
+	cases := []multicast.Config{
+		{N: 64, Algorithm: multicast.AlgoMultiCastCore, Budget: 5000, Adversary: multicast.FullBurstJammer(0)},
+		{N: 64, Algorithm: multicast.AlgoMultiCast, Budget: 5000, Adversary: multicast.RandomFractionJammer(0.4)},
+		{N: 64, Algorithm: multicast.AlgoMultiCastC, Channels: 8},
+		{N: 64, Algorithm: multicast.AlgoMultiCastAdv, MaxSlots: 1 << 26},
+		{N: 64, Algorithm: multicast.AlgoMultiCastAdvC, Channels: 16, MaxSlots: 1 << 26},
+		{N: 64, Algorithm: multicast.AlgoSingleChannel},
+	}
+	for _, cfg := range cases {
+		cfg.Seed = 3
+		m, err := multicast.Run(cfg)
+		if err != nil {
+			t.Errorf("%s: %v", cfg.Algorithm, err)
+			continue
+		}
+		if m.AllInformedSlot <= 0 {
+			t.Errorf("%s: nodes never informed", cfg.Algorithm)
+		}
+		if m.Invariants.Any() {
+			t.Errorf("%s: invariants violated: %+v", cfg.Algorithm, m.Invariants)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := multicast.Run(multicast.Config{N: 64, Algorithm: "bogus"}); err == nil {
+		t.Error("accepted unknown algorithm")
+	}
+	if _, err := multicast.Run(multicast.Config{N: 64, Algorithm: multicast.AlgoMultiCastC}); err == nil {
+		t.Error("accepted MultiCast(C) without Channels")
+	}
+	if _, err := multicast.Run(multicast.Config{N: 64, Algorithm: multicast.AlgoMultiCastAdvC}); err == nil {
+		t.Error("accepted MultiCastAdv(C) without Channels")
+	}
+	if _, err := multicast.Run(multicast.Config{N: 63}); err == nil {
+		t.Error("accepted non-power-of-two n")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, k := range multicast.Algorithms() {
+		got, err := multicast.ParseAlgorithm(string(k))
+		if err != nil || got != k {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", k, got, err)
+		}
+	}
+	if got, err := multicast.ParseAlgorithm("MULTICAST"); err != nil || got != multicast.AlgoMultiCast {
+		t.Errorf("case-insensitive parse failed: %v, %v", got, err)
+	}
+	if _, err := multicast.ParseAlgorithm("nope"); err == nil {
+		t.Error("accepted unknown name")
+	}
+}
+
+func TestKnownTDefaultsToBudget(t *testing.T) {
+	// MultiCastCore with KnownT unset must behave identically to
+	// KnownT = Budget.
+	a, err := multicast.Run(multicast.Config{
+		N: 64, Algorithm: multicast.AlgoMultiCastCore,
+		Adversary: multicast.FullBurstJammer(0), Budget: 4096, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := multicast.Run(multicast.Config{
+		N: 64, Algorithm: multicast.AlgoMultiCastCore,
+		Adversary: multicast.FullBurstJammer(0), Budget: 4096, KnownT: 4096, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("KnownT default mismatch:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPaperParamsRoundTrip(t *testing.T) {
+	p := multicast.PaperParams(0.1)
+	if p.Alpha != 0.1 || p.StartIter != 6 {
+		t.Fatalf("PaperParams wrong: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := multicast.SimParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomParams(t *testing.T) {
+	// Halving the listen probability must come with a ~4× longer
+	// iteration (the epidemic rate is ∝ p², and Lemma 4.1's constant a
+	// absorbs 1/p²) — the preset docs call this out.
+	p := multicast.SimParams()
+	p.CoreP = 0.125
+	p.CoreA = 4 * p.CoreA
+	m, err := multicast.Run(multicast.Config{
+		N: 64, Algorithm: multicast.AlgoMultiCastCore, Params: p, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AllInformedSlot <= 0 {
+		t.Fatal("custom params broke the run")
+	}
+	if m.Invariants.Any() {
+		t.Fatalf("invariant violations with rescaled params: %+v", m.Invariants)
+	}
+}
+
+func TestRunTrialsDeterministicPublicAPI(t *testing.T) {
+	cfg := multicast.Config{N: 64, Budget: 10_000, Adversary: multicast.SweepJammer(8), Seed: 17}
+	ms, err := multicast.RunTrials(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range ms {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		single, err := multicast.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single != m {
+			t.Fatalf("trial %d differs from solo run", i)
+		}
+	}
+}
+
+func TestMaxSlotsSurfacesSentinel(t *testing.T) {
+	_, err := multicast.Run(multicast.Config{
+		N: 64, Algorithm: multicast.AlgoMultiCastCore,
+		Adversary: multicast.FullBurstJammer(0), Budget: 1 << 40,
+		MaxSlots: 500, Seed: 1,
+	})
+	if !errors.Is(err, multicast.ErrMaxSlots) {
+		t.Fatalf("err = %v, want ErrMaxSlots", err)
+	}
+}
+
+func TestPhaseTargetedJammerConstructs(t *testing.T) {
+	adv := multicast.PhaseTargetedJammer(multicast.SimParams(), 0, 5, 0.9)
+	if adv.Name() == "" {
+		t.Fatal("empty name")
+	}
+	advC := multicast.PhaseTargetedJammer(multicast.SimParams(), 16, 4, 0.9)
+	if advC.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	exps := multicast.Experiments()
+	if len(exps) != 14 {
+		t.Fatalf("Experiments() returned %d, want 14", len(exps))
+	}
+	if _, ok := multicast.ExperimentByID("E1"); !ok {
+		t.Fatal("ExperimentByID(E1) failed")
+	}
+}

@@ -1,0 +1,30 @@
+package multicast
+
+import (
+	"multicast/internal/adversary"
+	"multicast/internal/trace"
+)
+
+// TraceRecorder records per-slot time series (informed count, halted
+// count, jam intensity, traffic) when attached as Config.Observer, and
+// renders them as ASCII charts. See NewTraceRecorder.
+type TraceRecorder = trace.Recorder
+
+// TraceSeries is one recorded, downsampled time series.
+type TraceSeries = trace.Series
+
+// NewTraceRecorder returns a recorder sampling every stride slots. Attach
+// it with Config.Observer (it slows the hot loop; use for demos/debugging).
+func NewTraceRecorder(stride int64) *TraceRecorder { return trace.NewRecorder(stride) }
+
+// TraceChart renders series as labelled sparkline rows of the given width.
+func TraceChart(width int, series ...*TraceSeries) string {
+	return trace.Chart(width, series...)
+}
+
+// BurstyJammer is a two-state Markov (on/off) jammer: geometric bursts of
+// f-fraction jamming with the given mean durations — the "microwave oven"
+// interference of the paper's introduction.
+func BurstyJammer(f float64, meanOn, meanOff float64) Adversary {
+	return adversary.Bursty(f, meanOn, meanOff)
+}
