@@ -39,10 +39,14 @@ func main() {
 		trace    = flag.Bool("trace", false, "print a per-1000-slot trace of the first trial")
 		curve    = flag.Bool("curve", false, "print sparkline charts of the run (informed/halted/jammed/traffic)")
 		alpha    = flag.Float64("alpha", 0, "override MultiCastAdv α (0 = preset)")
+		engName  = flag.String("engine", "auto", "slot-loop engine: auto|dense|sparse (identical results; dense is the reference loop)")
 	)
 	flag.Parse()
 
 	alg, err := multicast.ParseAlgorithm(*algName)
+	fatal(err)
+
+	engine, err := multicast.ParseEngine(*engName)
 	fatal(err)
 
 	params := multicast.SimParams()
@@ -92,6 +96,7 @@ func main() {
 		Budget:    *budget,
 		Seed:      *seed,
 		MaxSlots:  *maxSlots,
+		Engine:    engine,
 	}
 
 	if *trace {

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"multicast"
+)
+
+// benchScenario is the fixed engine benchmark: MultiCastCore with the
+// paper's own listen probability 1/64 on 128 nodes — a low-density
+// workload in which ~4 of 128 nodes act per slot, the regime the sparse
+// engine exists for — under a half-spectrum block jammer. Changing this
+// scenario breaks the perf trajectory across PRs; add new scenarios
+// instead of editing this one.
+func benchScenario() multicast.Config {
+	params := multicast.SimParams()
+	params.CoreP = 1.0 / 64 // the paper's coin ← rnd(1,64)
+	params.CoreA = 640      // keep R·CoreP (and so the halt threshold) at the Sim() scale
+	return multicast.Config{
+		N:         128,
+		Algorithm: multicast.AlgoMultiCastCore,
+		Params:    params,
+		Adversary: multicast.FractionJammer(0.5),
+		Budget:    200_000,
+	}
+}
+
+// benchTrials is sized so each engine measures over ≥ 1s of work; short
+// windows made the reported ratio noisy.
+const benchTrials = 25
+
+// engineResult is one engine's measurement.
+type engineResult struct {
+	Engine       string  `json:"engine"`
+	Slots        int64   `json:"slots"`
+	Seconds      float64 `json:"seconds"`
+	SlotsPerSec  float64 `json:"slots_per_sec"`
+	MaxNodeCost  int64   `json:"max_node_energy"`
+	EveCost      int64   `json:"eve_energy"`
+	TrialsPassed int     `json:"trials"`
+}
+
+// benchReport is the BENCH_sim.json schema.
+type benchReport struct {
+	Benchmark  string         `json:"benchmark"`
+	Generated  string         `json:"generated"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Scenario   map[string]any `json:"scenario"`
+	Dense      engineResult   `json:"dense"`
+	Sparse     engineResult   `json:"sparse"`
+	Speedup    float64        `json:"speedup"`
+}
+
+// runEngine executes the scenario's trials serially on one engine so the
+// two measurements are comparable and unaffected by trial parallelism.
+func runEngine(engine multicast.Engine) (engineResult, error) {
+	cfg := benchScenario()
+	cfg.Engine = engine
+	res := engineResult{Engine: engine.String()}
+	start := time.Now()
+	for seed := uint64(1); seed <= benchTrials; seed++ {
+		cfg.Seed = seed
+		m, err := multicast.Run(cfg)
+		if err != nil {
+			return res, fmt.Errorf("engine %v seed %d: %w", engine, seed, err)
+		}
+		res.Slots += m.Slots
+		if m.MaxNodeEnergy > res.MaxNodeCost {
+			res.MaxNodeCost = m.MaxNodeEnergy
+		}
+		res.EveCost += m.EveEnergy
+		res.TrialsPassed++
+	}
+	res.Seconds = time.Since(start).Seconds()
+	res.SlotsPerSec = float64(res.Slots) / res.Seconds
+	return res, nil
+}
+
+// runEngineBench measures dense vs sparse slots/sec on the fixed scenario
+// and writes the JSON report to path.
+func runEngineBench(path string) error {
+	scenario := benchScenario()
+	// Warm-up pass so one-time costs (page faults, lazy allocations) hit
+	// neither engine's measurement.
+	if _, err := runEngine(multicast.EngineDense); err != nil {
+		return err
+	}
+	dense, err := runEngine(multicast.EngineDense)
+	if err != nil {
+		return err
+	}
+	sparse, err := runEngine(multicast.EngineSparse)
+	if err != nil {
+		return err
+	}
+	if dense.Slots != sparse.Slots || dense.EveCost != sparse.EveCost {
+		return fmt.Errorf("engine divergence: dense ran %d slots (Eve %d), sparse %d (Eve %d)",
+			dense.Slots, dense.EveCost, sparse.Slots, sparse.EveCost)
+	}
+	report := benchReport{
+		Benchmark:  "sim-engine-dense-vs-sparse",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scenario: map[string]any{
+			"algorithm": string(scenario.Algorithm),
+			"n":         scenario.N,
+			"coreP":     1.0 / 64,
+			"budget":    scenario.Budget,
+			"adversary": scenario.Adversary.Name(),
+			"trials":    benchTrials,
+		},
+		Dense:   dense,
+		Sparse:  sparse,
+		Speedup: sparse.SlotsPerSec / dense.SlotsPerSec,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("engine benchmark: dense %.0f slots/s, sparse %.0f slots/s (%.2fx) → %s\n",
+		dense.SlotsPerSec, sparse.SlotsPerSec, report.Speedup, path)
+	return nil
+}

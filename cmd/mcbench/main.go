@@ -30,8 +30,24 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "base random seed")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
 		csv      = flag.Bool("csv", false, "emit CSV tables (no claims/notes)")
+		benchSim = flag.String("bench-sim", "", "measure dense vs sparse engine throughput and write the JSON report to this path (e.g. BENCH_sim.json), then exit")
+		engine   = flag.String("engine", "auto", "slot-loop engine for experiments: auto, dense, or sparse (results are identical; dense is the reference loop)")
 	)
 	flag.Parse()
+
+	eng, err := multicast.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *benchSim != "" {
+		if err := runEngineBench(*benchSim); err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: engine benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	all := multicast.Experiments()
 	if *list {
@@ -55,7 +71,7 @@ func main() {
 		}
 	}
 
-	cfg := multicast.ExperimentConfig{Trials: *trials, Seed: *seed, Quick: *quick}
+	cfg := multicast.ExperimentConfig{Trials: *trials, Seed: *seed, Quick: *quick, Engine: eng}
 	failed := 0
 	for _, e := range selected {
 		start := time.Now()

@@ -39,4 +39,27 @@
 // Executions are deterministic given (Config, Seed); RunTrials fans seeds
 // out over all CPUs. See DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
+//
+// # Engine selection
+//
+// The simulator has two slot-loop implementations, selected by
+// Config.Engine:
+//
+//   - EngineDense steps every non-halted node in every slot — the
+//     reference semantics.
+//   - EngineSparse exploits the schedules' sparsity: each node
+//     pre-computes its next non-idle slot (the protocol.Sleeper
+//     contract), the engine keeps a bucket-ring wake list, and slot
+//     ranges in which no node acts are skipped in bulk. Eve is still
+//     charged for jamming in skipped ranges — her jam sets are
+//     unobservable there, so only their aggregate size matters, which
+//     oblivious strategies report via SpendRange. Adaptive jammers and
+//     Observers force per-slot stepping (no range skipping), because
+//     both observe every slot.
+//   - EngineAuto (the default) picks Sparse whenever it applies.
+//
+// The two engines produce bit-identical Metrics for every configuration
+// and seed; the equivalence matrix and fuzz tests in internal/sim enforce
+// this, and `mcbench -bench-sim BENCH_sim.json` tracks the speedup
+// (≥ 2× on the low-density MultiCastCore scenario).
 package multicast

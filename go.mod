@@ -1,0 +1,3 @@
+module multicast
+
+go 1.24

@@ -39,6 +39,24 @@ type Factory interface {
 	New(r *rng.Source) Strategy
 }
 
+// RangeSpender is an optional Strategy extension used by the engine's
+// sparse fast path. When no node acts in [from, to), the jam *set* is
+// unobservable — only its size matters, because Eve still pays one unit
+// per jammed channel per slot. SpendRange returns the total energy the
+// strategy would spend over slots [from, to), all with the same channel
+// count, exactly equal to the sum of Fill counts the per-slot path would
+// produce (ignoring budget truncation, which the engine applies on top).
+//
+// Implementations must advance any internal state — including random
+// draws — exactly as the equivalent sequence of per-slot Fill calls
+// would, so that sparse and dense executions stay bit-identical.
+// Strategies without this method fall back to per-slot Fill against a
+// scratch mask.
+type RangeSpender interface {
+	// SpendRange returns Σ_{s∈[from,to)} Fill(s, channels, ·).
+	SpendRange(from, to int64, channels int) int64
+}
+
 // factoryFunc adapts a closure to Factory.
 type factoryFunc struct {
 	name string
@@ -79,8 +97,9 @@ func Truncate(mask *bitset.Set, channels, count, keep int) int {
 
 type none struct{}
 
-func (none) Name() string                     { return "none" }
-func (none) Fill(int64, int, *bitset.Set) int { return 0 }
+func (none) Name() string                       { return "none" }
+func (none) Fill(int64, int, *bitset.Set) int   { return 0 }
+func (none) SpendRange(int64, int64, int) int64 { return 0 }
 
 // None returns the absent adversary (T = 0).
 func None() Factory {
@@ -100,6 +119,17 @@ func (b fullBurst) Fill(slot int64, channels int, mask *bitset.Set) int {
 	}
 	mask.SetRange(0, channels)
 	return channels
+}
+
+// SpendRange implements RangeSpender: channels units per slot ≥ start.
+func (b fullBurst) SpendRange(from, to int64, channels int) int64 {
+	if from < b.start {
+		from = b.start
+	}
+	if from >= to {
+		return 0
+	}
+	return (to - from) * int64(channels)
 }
 
 // FullBurst jams every channel in every slot from slot start until the
@@ -127,6 +157,18 @@ func (b blockFraction) Fill(slot int64, channels int, mask *bitset.Set) int {
 	}
 	mask.SetRange(0, k)
 	return k
+}
+
+// SpendRange implements RangeSpender: ⌈f·c⌉ units per slot.
+func (b blockFraction) SpendRange(from, to int64, channels int) int64 {
+	k := int(math.Ceil(b.f * float64(channels)))
+	if k > channels {
+		k = channels
+	}
+	if k <= 0 || from >= to {
+		return 0
+	}
+	return (to - from) * int64(k)
 }
 
 // BlockFraction jams a fixed ⌈f·c⌉-channel block every slot. Because honest
@@ -160,6 +202,22 @@ func (s *randomFraction) Fill(slot int64, channels int, mask *bitset.Set) int {
 	return count
 }
 
+// SpendRange implements RangeSpender. The strategy is randomised, so the
+// aggregate count still costs one Bernoulli draw per channel per slot —
+// the per-slot draws must be consumed to keep the stream aligned with a
+// dense run — but it skips all mask writes.
+func (s *randomFraction) SpendRange(from, to int64, channels int) int64 {
+	var total int64
+	for slot := from; slot < to; slot++ {
+		for ch := 0; ch < channels; ch++ {
+			if s.r.Bernoulli(s.f) {
+				total++
+			}
+		}
+	}
+	return total
+}
+
 // RandomFraction jams each channel independently with probability f every
 // slot; the per-slot jam count is Binomial(c, f). The randomness is drawn
 // from a pre-committed stream, so the strategy remains oblivious.
@@ -188,6 +246,18 @@ func (s sweep) Fill(slot int64, channels int, mask *bitset.Set) int {
 		mask.Set((start + i) % channels)
 	}
 	return w
+}
+
+// SpendRange implements RangeSpender: min(width, channels) units per slot.
+func (s sweep) SpendRange(from, to int64, channels int) int64 {
+	w := s.width
+	if w > channels {
+		w = channels
+	}
+	if w <= 0 || from >= to {
+		return 0
+	}
+	return (to - from) * int64(w)
 }
 
 // Sweep jams a contiguous window of width channels that rotates by one
@@ -226,6 +296,35 @@ func (p pulse) Fill(slot int64, channels int, mask *bitset.Set) int {
 	}
 	mask.SetRange(0, k)
 	return k
+}
+
+// SpendRange implements RangeSpender: k units for every on-duty slot in
+// the range, counted in closed form.
+func (p pulse) SpendRange(from, to int64, channels int) int64 {
+	if p.stopAfter > 0 && to > p.stopAfter {
+		to = p.stopAfter
+	}
+	if from >= to {
+		return 0
+	}
+	k := int(math.Ceil(p.f * float64(channels)))
+	if k > channels {
+		k = channels
+	}
+	if k <= 0 {
+		return 0
+	}
+	// onBefore(x) = number of on-duty slots in [0, x).
+	onBefore := func(x int64) int64 {
+		n := (x / p.period) * p.duty
+		if rem := x % p.period; rem < p.duty {
+			n += rem
+		} else {
+			n += p.duty
+		}
+		return n
+	}
+	return (onBefore(to) - onBefore(from)) * int64(k)
 }
 
 // Pulse jams an f-fraction block during the first duty slots of every
@@ -295,6 +394,37 @@ func (s *bursty) Fill(slot int64, channels int, mask *bitset.Set) int {
 	return k
 }
 
+// SpendRange implements RangeSpender: walk the on/off flips across the
+// range in burst-sized chunks. Flip boundaries draw from the same
+// pre-committed stream as per-slot Fill calls would, in the same order,
+// so the strategy state stays bit-identical to a dense run.
+func (s *bursty) SpendRange(from, to int64, channels int) int64 {
+	k := int(math.Ceil(s.f * float64(channels)))
+	if k > channels {
+		k = channels
+	}
+	var total int64
+	for slot := from; slot < to; {
+		for slot >= s.next {
+			s.on = !s.on
+			if s.on {
+				s.next += geometric(s.r, s.meanOn)
+			} else {
+				s.next += geometric(s.r, s.meanOff)
+			}
+		}
+		end := s.next
+		if end > to {
+			end = to
+		}
+		if s.on && k > 0 {
+			total += (end - slot) * int64(k)
+		}
+		slot = end
+	}
+	return total
+}
+
 // Bursty is a two-state Markov (on/off) jammer: bursts of f-fraction
 // jamming with geometric durations of the given means, separated by
 // geometric quiet gaps — a standard model of environmental interference
@@ -330,6 +460,35 @@ func (w windowed) Fill(slot int64, channels int, mask *bitset.Set) int {
 	return w.inner.Fill(slot, channels, mask)
 }
 
+// windowedRanged is a windowed strategy whose inner strategy also supports
+// aggregate spending. The gate predicate is per-slot, so the range walk is
+// slot-by-slot, but it calls the inner strategy only on active slots —
+// matching dense Fill gating — and never touches a mask.
+type windowedRanged struct {
+	windowed
+	rs RangeSpender
+}
+
+func (w windowedRanged) SpendRange(from, to int64, channels int) int64 {
+	var total int64
+	for s := from; s < to; s++ {
+		if w.active(s) {
+			total += w.rs.SpendRange(s, s+1, channels)
+		}
+	}
+	return total
+}
+
+// wrapWindowed builds the windowed wrapper, promoting to windowedRanged
+// when the inner strategy implements RangeSpender.
+func wrapWindowed(name string, inner Strategy, active func(slot int64) bool) Strategy {
+	w := windowed{inner: inner, active: active, label: name}
+	if rs, ok := inner.(RangeSpender); ok {
+		return windowedRanged{windowed: w, rs: rs}
+	}
+	return w
+}
+
 // Windowed gates an inner strategy by a slot predicate. The predicate must
 // be a pure function of the slot index (e.g. derived from the published
 // algorithm schedule), which keeps the strategy oblivious. It is the
@@ -341,14 +500,14 @@ func (w windowed) Fill(slot int64, channels int, mask *bitset.Set) int {
 // NewFactory + NewWindowed instead.
 func Windowed(name string, inner Factory, active func(slot int64) bool) Factory {
 	return NewFactory(name, func(r *rng.Source) Strategy {
-		return windowed{inner: inner.New(r), active: active, label: name}
+		return wrapWindowed(name, inner.New(r), active)
 	})
 }
 
 // NewWindowed wraps an already-built strategy with a slot predicate. Use it
 // inside a NewFactory closure when the predicate carries per-trial state.
 func NewWindowed(name string, inner Strategy, active func(slot int64) bool) Strategy {
-	return windowed{inner: inner, active: active, label: name}
+	return wrapWindowed(name, inner, active)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,90 @@
+package adversary
+
+import (
+	"testing"
+
+	"multicast/internal/bitset"
+	"multicast/internal/rng"
+)
+
+// TestSpendRangeMatchesFill checks the RangeSpender contract for every
+// built-in oblivious strategy: over identically seeded twin instances,
+// SpendRange on chunked ranges (odd sizes, spanning burst and pulse
+// boundaries) must return exactly the sum of the per-slot Fill counts —
+// and leave any internal state (burst phase, random stream) positioned
+// identically for the rest of the execution.
+func TestSpendRangeMatchesFill(t *testing.T) {
+	factories := []Factory{
+		None(),
+		FullBurst(37),
+		BlockFraction(0.3),
+		BlockFraction(0),
+		RandomFraction(0.45),
+		Sweep(5),
+		Sweep(0),
+		Pulse(97, 13, 0.6, 1_000),
+		Pulse(8, 8, 1.0, 0),
+		Bursty(0.7, 30, 70),
+		StopAfter(BlockFraction(0.9), 500),
+		Windowed("even-slots", RandomFraction(0.5), func(slot int64) bool { return slot%2 == 0 }),
+	}
+	chunks := []int64{1, 5, 64, 250, 999, 3}
+	for _, f := range factories {
+		for _, channels := range []int{1, 7, 64, 129} {
+			ranged := f.New(rng.New(42))
+			perSlot := f.New(rng.New(42))
+			rs, ok := ranged.(RangeSpender)
+			if !ok {
+				t.Errorf("%s: strategy does not implement RangeSpender", f.Name())
+				continue
+			}
+			mask := bitset.New(channels)
+			var slot int64
+			for _, chunk := range chunks {
+				var want int64
+				for s := slot; s < slot+chunk; s++ {
+					c := perSlot.Fill(s, channels, mask)
+					want += int64(c)
+					if c > 0 {
+						mask.Reset()
+					}
+				}
+				got := rs.SpendRange(slot, slot+chunk, channels)
+				if got != want {
+					t.Errorf("%s channels=%d range [%d,%d): SpendRange = %d, Σ Fill = %d",
+						f.Name(), channels, slot, slot+chunk, got, want)
+				}
+				slot += chunk
+			}
+		}
+	}
+}
+
+// TestSpendRangeEmpty: empty and inverted ranges spend nothing and leave
+// state untouched.
+func TestSpendRangeEmpty(t *testing.T) {
+	for _, f := range []Factory{FullBurst(0), Bursty(0.5, 10, 10), RandomFraction(0.5)} {
+		s := f.New(rng.New(7)).(RangeSpender)
+		if got := s.SpendRange(100, 100, 8); got != 0 {
+			t.Errorf("%s: empty range spent %d", f.Name(), got)
+		}
+	}
+}
+
+// TestWindowedRangedPromotion: Windowed promotes to a RangeSpender iff the
+// inner strategy is one.
+func TestWindowedRangedPromotion(t *testing.T) {
+	always := func(int64) bool { return true }
+	if _, ok := Windowed("w", BlockFraction(0.5), always).New(rng.New(1)).(RangeSpender); !ok {
+		t.Error("windowed over a RangeSpender lost the SpendRange capability")
+	}
+	bare := NewFactory("bare", func(*rng.Source) Strategy { return bareStrategy{} })
+	if _, ok := Windowed("w", bare, always).New(rng.New(1)).(RangeSpender); ok {
+		t.Error("windowed over a plain strategy invented a SpendRange capability")
+	}
+}
+
+type bareStrategy struct{}
+
+func (bareStrategy) Name() string                     { return "bare" }
+func (bareStrategy) Fill(int64, int, *bitset.Set) int { return 0 }

@@ -69,6 +69,13 @@ func (a *MultiCastAdv) Name() string {
 // Channels implements protocol.Algorithm.
 func (a *MultiCastAdv) Channels(slot int64) int { return a.sched.At(slot).Channels }
 
+// ChannelSpan implements protocol.ChannelSpanner: the channel count is
+// constant within a step window.
+func (a *MultiCastAdv) ChannelSpan(slot int64) (int, int64) {
+	w := a.sched.At(slot)
+	return w.Channels, w.End
+}
+
 // Schedule returns a fresh copy of the algorithm's phase schedule, for
 // adversaries and experiment harnesses.
 func (a *MultiCastAdv) Schedule() *AdvSchedule { return newAdvSchedule(a.params, a.jCut) }
@@ -106,6 +113,10 @@ type advNode struct {
 
 	// Helper bookkeeping (iˆ, jˆ).
 	helperI, helperJ int
+
+	// pending caches the action NextActive pre-drew for its wake slot.
+	pending    protocol.Action
+	hasPending bool
 }
 
 func (nd *advNode) enterWindow(w StepWindow) {
@@ -128,6 +139,10 @@ func (nd *advNode) Phase() (i, j, step int) { return nd.cur.I, nd.cur.J, nd.cur.
 func (nd *advNode) HelperPhase() (i, j int) { return nd.helperI, nd.helperJ }
 
 func (nd *advNode) Step(slot int64) protocol.Action {
+	if nd.hasPending {
+		nd.hasPending = false
+		return nd.pending
+	}
 	w := &nd.cur
 	u := nd.r.Float64()
 	if w.Step == 1 {
@@ -200,33 +215,106 @@ func (nd *advNode) EndSlot(slot int64) {
 	nd.enterWindow(nd.sched.Window(nd.win))
 }
 
-// endOfPhase applies Figure 4 lines 21–23 (and Figure 6 lines 21–25 for
-// the cut-off variant) in pseudocode order.
-func (nd *advNode) endOfPhase() {
+// phaseOutcome computes, without mutating the node, the status and helper
+// phase that ending the current step-two window would produce — Figure 4
+// lines 21–23 (and Figure 6 lines 21–25 for the cut-off variant) in
+// pseudocode order. The split from endOfPhase lets NextActive decide
+// whether an idle slot may be absorbed or must wake the engine.
+func (nd *advNode) phaseOutcome() (status protocol.Status, helperI, helperJ int) {
 	w := &nd.cur
 	p := nd.alg.params
 	rp := float64(w.Len) * w.P
 	rp2 := rp * w.P
+	status, helperI, helperJ = nd.status, nd.helperI, nd.helperJ
 
-	if nd.status == protocol.Uninformed && nd.nm >= 1 {
-		nd.status = protocol.Informed
-		nd.knowsM = true
+	if status == protocol.Uninformed && nd.nm >= 1 {
+		status = protocol.Informed
 	}
-	if nd.status == protocol.Informed &&
+	if status == protocol.Informed &&
 		float64(nd.nm) >= p.HelperNm*rp2 &&
 		float64(nd.ns) >= p.HelperNs*rp {
 		// At the cut-off phase j = lg C the N'm condition is dropped
 		// (Figure 6 line 23); everywhere else it applies.
 		if (nd.alg.jCut >= 0 && w.J == nd.alg.jCut) ||
 			float64(nd.nmPrime) <= p.HelperNmPrime*rp2 {
-			nd.status = protocol.Helper
-			nd.helperI, nd.helperJ = w.I, w.J
+			status = protocol.Helper
+			helperI, helperJ = w.I, w.J
 		}
 	}
-	if nd.status == protocol.Helper &&
-		w.I-nd.helperI >= p.helperGap() &&
-		w.J == nd.helperJ &&
+	if status == protocol.Helper &&
+		w.I-helperI >= p.helperGap() &&
+		w.J == helperJ &&
 		float64(nd.nn) <= p.HaltNoise*rp {
-		nd.status = protocol.Halted
+		status = protocol.Halted
+	}
+	return status, helperI, helperJ
+}
+
+// endOfPhase applies the phase outcome.
+func (nd *advNode) endOfPhase() {
+	st, hi, hj := nd.phaseOutcome()
+	if nd.status == protocol.Uninformed && st != protocol.Uninformed {
+		nd.knowsM = true
+	}
+	nd.status, nd.helperI, nd.helperJ = st, hi, hj
+}
+
+// NextActive implements protocol.Sleeper: replay the per-slot coins across
+// step windows, absorbing idle slots and window boundaries whose phase
+// outcome leaves the status unchanged. The step-two counters are frozen
+// while idle, so a window's outcome is already decided when the node goes
+// quiet — any outcome that changes the status wakes the engine at the
+// window's final slot instead of being absorbed.
+func (nd *advNode) NextActive(now int64) int64 {
+	if nd.hasPending {
+		return now
+	}
+	for {
+		w := &nd.cur
+		u := nd.r.Float64()
+		if w.Step == 1 {
+			if u < w.P {
+				ch := nd.r.Intn(w.Channels)
+				if nd.status == protocol.Uninformed {
+					nd.pending = protocol.Action{Kind: protocol.Listen, Channel: ch}
+				} else {
+					nd.pending = protocol.Action{Kind: protocol.Broadcast, Channel: ch, Payload: radio.MsgM}
+				}
+				nd.hasPending = true
+				return now
+			}
+		} else {
+			switch {
+			case u < w.P:
+				nd.pending = protocol.Action{Kind: protocol.Listen, Channel: nd.r.Intn(w.Channels)}
+				nd.hasPending = true
+				return now
+			case u < 2*w.P:
+				payload := radio.MsgM
+				if nd.status == protocol.Uninformed {
+					payload = radio.Beacon
+				}
+				nd.pending = protocol.Action{Kind: protocol.Broadcast, Channel: nd.r.Intn(w.Channels), Payload: payload}
+				nd.hasPending = true
+				return now
+			}
+		}
+		// Idle slot. A closing step-two window may change the status.
+		if nd.offset+1 >= w.Len && w.Step == 2 {
+			if st, _, _ := nd.phaseOutcome(); st != nd.status {
+				nd.pending = protocol.Action{Kind: protocol.Idle}
+				nd.hasPending = true
+				return now
+			}
+		}
+		nd.offset++
+		if nd.offset >= nd.cur.Len {
+			if nd.cur.Step == 2 {
+				nd.endOfPhase() // status unchanged, checked above
+			}
+			nd.win++
+			nd.enterWindow(nd.sched.Window(nd.win))
+		}
+		now++
 	}
 }

@@ -42,6 +42,11 @@ func (a *MultiCast) Name() string { return "MultiCast" }
 // every slot.
 func (a *MultiCast) Channels(slot int64) int { return a.channels }
 
+// ChannelSpan implements protocol.ChannelSpanner: the count never changes.
+func (a *MultiCast) ChannelSpan(slot int64) (int, int64) {
+	return a.channels, math.MaxInt64
+}
+
 // IterationLength returns Rᵢ for iteration i.
 func (a *MultiCast) IterationLength(i int) int64 {
 	if i > maxIter {
@@ -81,6 +86,10 @@ type mcastNode struct {
 	haltMax float64 // halt iff Nn < haltMax at iteration end
 	noisy   int64   // Nn
 	slotIdx int64   // slot within the iteration
+
+	// pending caches the action NextActive pre-drew for its wake slot.
+	pending    protocol.Action
+	hasPending bool
 }
 
 func (nd *mcastNode) startIteration(i int) {
@@ -100,6 +109,10 @@ func (nd *mcastNode) Informed() bool { return nd.knowsM }
 func (nd *mcastNode) Iteration() int { return nd.iter }
 
 func (nd *mcastNode) Step(slot int64) protocol.Action {
+	if nd.hasPending {
+		nd.hasPending = false
+		return nd.pending
+	}
 	u := nd.r.Float64()
 	switch {
 	case u < nd.p:
@@ -133,6 +146,52 @@ func (nd *mcastNode) EndSlot(slot int64) {
 		return
 	}
 	nd.startIteration(nd.iter + 1)
+}
+
+// NextActive implements protocol.Sleeper; see coreNode.NextActive. The
+// only extra wrinkle is that absorbed iteration boundaries advance pᵢ and
+// Rᵢ, exactly as the dense EndSlot would — the hoisted loop state is
+// reloaded after each boundary.
+func (nd *mcastNode) NextActive(now int64) int64 {
+	if nd.hasPending {
+		return now
+	}
+	r := nd.r
+	informed := nd.status == protocol.Informed
+	for {
+		var (
+			p         = nd.p
+			iterLen   = nd.iterLen
+			haltAtEnd = float64(nd.noisy) < nd.haltMax
+			slotIdx   = nd.slotIdx
+		)
+		for {
+			u := r.Float64()
+			if u < p || (u < 2*p && informed) {
+				nd.slotIdx = slotIdx
+				if u < p {
+					nd.pending = protocol.Action{Kind: protocol.Listen, Channel: r.Intn(nd.alg.channels)}
+				} else {
+					nd.pending = protocol.Action{Kind: protocol.Broadcast, Channel: r.Intn(nd.alg.channels), Payload: radio.MsgM}
+				}
+				nd.hasPending = true
+				return now
+			}
+			if slotIdx+1 >= iterLen {
+				if haltAtEnd {
+					nd.slotIdx = slotIdx
+					nd.pending = protocol.Action{Kind: protocol.Idle}
+					nd.hasPending = true
+					return now
+				}
+				nd.startIteration(nd.iter + 1)
+				now++
+				break // pᵢ, Rᵢ, haltMax changed: reload the loop state
+			}
+			slotIdx++
+			now++
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -185,6 +244,11 @@ func (a *MultiCastC) Name() string { return "MultiCast(C)" }
 
 // Channels implements protocol.Algorithm: always the effective C.
 func (a *MultiCastC) Channels(slot int64) int { return a.c }
+
+// ChannelSpan implements protocol.ChannelSpanner: the count never changes.
+func (a *MultiCastC) ChannelSpan(slot int64) (int, int64) {
+	return a.c, math.MaxInt64
+}
 
 // EffectiveC returns the power-of-two channel count actually used.
 func (a *MultiCastC) EffectiveC() int { return a.c }
@@ -300,4 +364,40 @@ func (nd *mcastCNode) EndSlot(slot int64) {
 	}
 	nd.startIteration(nd.iter + 1)
 	nd.startRound()
+}
+
+// NextActive implements protocol.Sleeper. The node draws once per round,
+// not per slot, so fast-forwarding works in round-sized strides: jump to
+// the sub-slot hosting the round's virtual channel, or absorb the whole
+// round (the boundary's startRound makes the next round's draws exactly
+// where the dense EndSlot would). Step needs no pending cache — it is a
+// pure function of (act, virtual, sub).
+func (nd *mcastCNode) NextActive(now int64) int64 {
+	for {
+		if nd.act != protocol.Idle {
+			target := int64(nd.virtual / nd.alg.c)
+			if nd.sub <= target {
+				now += target - nd.sub
+				nd.sub = target
+				return now
+			}
+		}
+		// The rest of the round is idle. If it closes the iteration and
+		// the frozen noisy counter is below the halt threshold, the halt
+		// lands at the round's final sub-slot; run that slot.
+		if nd.round+1 >= nd.iterLen && float64(nd.noisy) < nd.haltMax {
+			now += nd.alg.subSlots - 1 - nd.sub
+			nd.sub = nd.alg.subSlots - 1
+			return now
+		}
+		// Absorb through the round boundary.
+		now += nd.alg.subSlots - nd.sub
+		nd.round++
+		if nd.round < nd.iterLen {
+			nd.startRound()
+			continue
+		}
+		nd.startIteration(nd.iter + 1)
+		nd.startRound()
+	}
 }

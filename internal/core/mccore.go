@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"multicast/internal/protocol"
 	"multicast/internal/radio"
@@ -75,6 +76,11 @@ func (a *MultiCastCore) Name() string { return "MultiCastCore" }
 // every slot.
 func (a *MultiCastCore) Channels(slot int64) int { return a.channels }
 
+// ChannelSpan implements protocol.ChannelSpanner: the count never changes.
+func (a *MultiCastCore) ChannelSpan(slot int64) (int, int64) {
+	return a.channels, math.MaxInt64
+}
+
 // IterationLength returns R, the slots per iteration.
 func (a *MultiCastCore) IterationLength() int64 { return a.iterLen }
 
@@ -97,6 +103,11 @@ type coreNode struct {
 	// can halt uninformed, and Informed() must keep reporting the truth)
 	noisy   int64 // Nn: noisy slots this iteration
 	slotIdx int64 // slot index within the current iteration
+
+	// pending caches the action NextActive pre-drew for its wake slot;
+	// Step returns it without touching the random stream again.
+	pending    protocol.Action
+	hasPending bool
 }
 
 func (nd *coreNode) Status() protocol.Status { return nd.status }
@@ -107,6 +118,10 @@ func (nd *coreNode) Informed() bool { return nd.knowsM }
 // coin independently and unconditionally; drawing the channel lazily (only
 // when the coin selects listen or broadcast) yields the same distribution.
 func (nd *coreNode) Step(slot int64) protocol.Action {
+	if nd.hasPending {
+		nd.hasPending = false
+		return nd.pending
+	}
 	p := nd.alg.params.CoreP
 	u := nd.r.Float64()
 	switch {
@@ -142,4 +157,55 @@ func (nd *coreNode) EndSlot(slot int64) {
 	}
 	nd.slotIdx = 0
 	nd.noisy = 0
+}
+
+// NextActive implements protocol.Sleeper: replay the per-slot coin flips
+// in a tight loop, absorbing idle slots (including non-halting iteration
+// boundaries) until one selects an action or an iteration boundary would
+// halt. Draws match the dense per-slot path bit for bit. Status and noisy
+// are frozen while idle, so the broadcast eligibility and the boundary
+// halt decision are loop invariants; the mutable cursors live in locals
+// to keep the per-absorbed-slot cost close to the raw RNG draw.
+func (nd *coreNode) NextActive(now int64) int64 {
+	if nd.hasPending {
+		return now
+	}
+	var (
+		r         = nd.r
+		p         = nd.alg.params.CoreP
+		iterLen   = nd.alg.iterLen
+		informed  = nd.status == protocol.Informed
+		haltAtEnd = float64(nd.noisy) < nd.alg.haltMax
+		slotIdx   = nd.slotIdx
+	)
+	for {
+		u := r.Float64()
+		if u < p || (u < 2*p && informed) {
+			nd.slotIdx = slotIdx
+			if u < p {
+				nd.pending = protocol.Action{Kind: protocol.Listen, Channel: r.Intn(nd.alg.channels)}
+			} else {
+				nd.pending = protocol.Action{Kind: protocol.Broadcast, Channel: r.Intn(nd.alg.channels), Payload: radio.MsgM}
+			}
+			nd.hasPending = true
+			return now
+		}
+		// Idle slot. If its iteration boundary would halt, the engine
+		// must run the slot to observe the transition.
+		if slotIdx+1 >= iterLen {
+			if haltAtEnd {
+				nd.slotIdx = slotIdx
+				nd.pending = protocol.Action{Kind: protocol.Idle}
+				nd.hasPending = true
+				return now
+			}
+			// Non-halting boundary: the new iteration starts with
+			// noisy = 0, which is always below the halt threshold.
+			slotIdx = -1
+			nd.noisy = 0
+			haltAtEnd = true
+		}
+		slotIdx++
+		now++
+	}
 }

@@ -51,7 +51,7 @@ func runE13(cfg RunConfig) (Result, error) {
 
 	var oblivSlots, adaptSlots []float64
 	for fi, f := range foes {
-		p, err := measure(sim.Config{
+		p, err := cfg.measure(sim.Config{
 			N: n,
 			Algorithm: func() (protocol.Algorithm, error) {
 				return core.NewMultiCast(core.Sim(), n)

@@ -63,7 +63,7 @@ func runE5(cfg RunConfig) (Result, error) {
 	}
 	var xs, ySlots, yCost []float64
 	for bi, budget := range budgets {
-		p, err := measure(sim.Config{
+		p, err := cfg.measure(sim.Config{
 			N: n,
 			Algorithm: func() (protocol.Algorithm, error) {
 				return core.NewMultiCastAdv(params)
@@ -118,7 +118,7 @@ func runE7(cfg RunConfig) (Result, error) {
 	}
 	for ci, c := range chans {
 		cc := c
-		p, err := measure(sim.Config{
+		p, err := cfg.measure(sim.Config{
 			N: n,
 			Algorithm: func() (protocol.Algorithm, error) {
 				return core.NewMultiCastAdvC(params, cc)

@@ -60,7 +60,7 @@ func runE4(cfg RunConfig) (Result, error) {
 		var slots [2]float64
 		var costs [2]float64
 		for vi, v := range variants {
-			p, err := measure(sim.Config{
+			p, err := cfg.measure(sim.Config{
 				N:         n,
 				Algorithm: v.build(n),
 				Adversary: adversary.FullBurst(0),

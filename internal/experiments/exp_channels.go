@@ -30,7 +30,7 @@ func sweepChannels(cfg RunConfig, n int, budget int64, chans []int, trials int) 
 	points := make([]point, len(chans))
 	for ci, c := range chans {
 		cc := c
-		p, err := measure(sim.Config{
+		p, err := cfg.measure(sim.Config{
 			N: n,
 			Algorithm: func() (protocol.Algorithm, error) {
 				return core.NewMultiCastC(core.Sim(), n, cc)

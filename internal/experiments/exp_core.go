@@ -76,6 +76,7 @@ func runE1(cfg RunConfig) (Result, error) {
 				Budget:    1 << 40,
 				Seed:      cfg.Seed + uint64(fi*1000+t),
 				MaxSlots:  32 * iterLen,
+				Engine:    cfg.Engine,
 			})
 			// Heavy jamming legitimately prevents halting within the
 			// horizon; the metric of interest is informing time.
@@ -123,7 +124,7 @@ func runE2(cfg RunConfig) (Result, error) {
 	}
 	var xs, ySlots, yCost []float64
 	for bi, budget := range budgets {
-		p, err := measure(sim.Config{
+		p, err := cfg.measure(sim.Config{
 			N: n,
 			Algorithm: func() (protocol.Algorithm, error) {
 				return core.NewMultiCastCore(core.Sim(), n, budget)
@@ -198,7 +199,7 @@ func runE8(cfg RunConfig) (Result, error) {
 	}
 	var latencies []float64
 	for vi, v := range variants {
-		p, err := measure(sim.Config{
+		p, err := cfg.measure(sim.Config{
 			N:         n,
 			Algorithm: v.build,
 			Adversary: adversary.StopAfter(adversary.FullBurst(0), stop),

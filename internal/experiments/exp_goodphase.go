@@ -57,6 +57,7 @@ func runE14(cfg RunConfig) (Result, error) {
 			Algorithm: v.build,
 			Seed:      cfg.Seed + uint64(vi)*547,
 			MaxSlots:  1 << 27,
+			Engine:    cfg.Engine,
 		}, trials)
 		if err != nil {
 			return Result{}, err

@@ -36,7 +36,7 @@ func init() {
 func sweepMultiCastBudgets(cfg RunConfig, n int, budgets []int64, trials int) ([]point, error) {
 	points := make([]point, len(budgets))
 	for bi, budget := range budgets {
-		p, err := measure(sim.Config{
+		p, err := cfg.measure(sim.Config{
 			N: n,
 			Algorithm: func() (protocol.Algorithm, error) {
 				return core.NewMultiCast(core.Sim(), n)
@@ -151,7 +151,7 @@ func runE10(cfg RunConfig) (Result, error) {
 		build := func() (protocol.Algorithm, error) {
 			return core.NewMultiCast(core.Sim(), nn)
 		}
-		p, err := measure(sim.Config{
+		p, err := cfg.measure(sim.Config{
 			N:         nn,
 			Algorithm: build,
 			Adversary: adversary.FullBurst(0),
@@ -165,7 +165,7 @@ func runE10(cfg RunConfig) (Result, error) {
 		// The jam-free floor is the O(lg²n) τ term; points where the
 		// floor dominates say nothing about the T/n law, so they are
 		// reported but excluded from the fit.
-		floor, err := measure(sim.Config{
+		floor, err := cfg.measure(sim.Config{
 			N: nn, Algorithm: build, Seed: cfg.Seed + uint64(ni)*7919, MaxSlots: 1 << 26,
 		}, trials)
 		if err != nil {

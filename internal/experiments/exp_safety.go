@@ -90,7 +90,7 @@ func runE11(cfg RunConfig) (Result, error) {
 	totalViolations := 0
 	totalTrials := 0
 	for i, c := range cases {
-		p, err := measure(sim.Config{
+		p, err := cfg.measure(sim.Config{
 			N:         n,
 			Algorithm: c.build,
 			Adversary: c.adv,

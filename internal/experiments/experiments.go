@@ -25,6 +25,11 @@ type RunConfig struct {
 	// Quick trims sweeps to small parameter ranges so the whole suite
 	// finishes in a couple of minutes (used by benchmarks and CI).
 	Quick bool
+	// Engine overrides the slot-loop implementation for every trial
+	// (zero = Auto). Dense and sparse produce identical metrics; the
+	// knob exists to re-run tables on the reference engine or to time
+	// the difference.
+	Engine sim.Engine
 }
 
 // Result is a rendered experiment outcome.
@@ -91,9 +96,11 @@ type point struct {
 	Invariants                               sim.InvariantCounts
 }
 
-// measure runs trials of cfg and aggregates the headline metrics.
-func measure(cfg sim.Config, trials int) (point, error) {
-	ms, err := sim.RunTrials(cfg, trials)
+// measure runs trials of sc under rc's engine choice and aggregates the
+// headline metrics.
+func (rc RunConfig) measure(sc sim.Config, trials int) (point, error) {
+	sc.Engine = rc.Engine
+	ms, err := sim.RunTrials(sc, trials)
 	if err != nil {
 		return point{}, err
 	}

@@ -100,6 +100,36 @@ type Node interface {
 	Informed() bool
 }
 
+// Sleeper is an optional Node extension that enables the engine's sparse
+// fast path. NextActive returns the next slot ≥ now at which the node
+// needs to be stepped — the next slot where Step would return a non-Idle
+// action, or where EndSlot's bookkeeping could change Status(). For every
+// intervening slot the node must fast-forward its own per-slot state
+// (counters, iteration boundaries, …) inside NextActive, making exactly
+// the random draws the dense per-slot path would have made, in the same
+// order, so that a sparse execution consumes each node's private random
+// stream identically to a dense one.
+//
+// Contract:
+//
+//   - The engine calls NextActive(now) only when the node has fully
+//     processed every slot < now (Step/Deliver/EndSlot or a previous
+//     NextActive fast-forward) and only while the node is not Halted.
+//   - The returned slot s satisfies s ≥ now. The engine will then call
+//     Step(s), possibly Deliver, and EndSlot(s) as usual; the node must
+//     behave at s exactly as if it had been stepped through (now, s)
+//     slot by slot. Random draws made while fast-forwarding (e.g. the
+//     per-slot activity coin) must not be repeated by Step(s).
+//   - Status() must remain constant and accurate throughout the sleep:
+//     any slot whose end-of-slot bookkeeping would change the status
+//     (halting at an iteration boundary, helper transitions, …) must be
+//     returned as a wake slot, not absorbed, even if Step is Idle there.
+type Sleeper interface {
+	// NextActive fast-forwards the node through idle slots starting at
+	// now and returns the first slot that needs engine attention.
+	NextActive(now int64) int64
+}
+
 // Algorithm builds the per-node state machines for one execution and
 // exposes the channel schedule. All algorithms in the paper are
 // channel-uniform (Section 7): the set of channels potentially in use in a
@@ -115,4 +145,16 @@ type Algorithm interface {
 	// Channels returns the number of channels the algorithm may use in
 	// the given slot (≥ 1).
 	Channels(slot int64) int
+}
+
+// ChannelSpanner is an optional Algorithm extension used by the sparse
+// engine. ChannelSpan returns the channel count at slot together with the
+// first later slot at which the count may change, so that a skipped slot
+// range can be charged to the adversary in constant-channel chunks instead
+// of one Channels query per slot. until must be > slot; math.MaxInt64
+// means "constant forever". Returning a conservative (smaller) until is
+// always correct.
+type ChannelSpanner interface {
+	// ChannelSpan reports the channel count for [slot, until).
+	ChannelSpan(slot int64) (channels int, until int64)
 }

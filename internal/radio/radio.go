@@ -149,6 +149,17 @@ func (nw *Network) NodeEnergies() []int64 { return nw.nodeEnergy }
 // EveEnergy returns the total energy Eve has spent jamming.
 func (nw *Network) EveEnergy() int64 { return nw.eveEnergy }
 
+// ChargeEve adds amount to Eve's energy meter without running a slot. The
+// sparse engine uses it to account for jamming in slot ranges it skips:
+// no node listens there, so the jam sets are unobservable, but Eve still
+// pays for them. amount must be ≥ 0.
+func (nw *Network) ChargeEve(amount int64) {
+	if amount < 0 {
+		panic("radio: negative Eve charge")
+	}
+	nw.eveEnergy += amount
+}
+
 // grow ensures capacity for at least channels channels.
 func (nw *Network) grow(channels int) {
 	if channels <= len(nw.states) {

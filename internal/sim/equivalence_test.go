@@ -1,13 +1,272 @@
 package sim
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 	"testing/quick"
 
 	"multicast/internal/adversary"
+	"multicast/internal/bitset"
 	"multicast/internal/core"
 	"multicast/internal/protocol"
+	"multicast/internal/rng"
+	"multicast/internal/singlechan"
 )
+
+// noRangeSweep is a sweep-like strategy that deliberately does NOT
+// implement adversary.RangeSpender, forcing the sparse engine through its
+// per-slot Fill fallback for skipped ranges.
+type noRangeSweep struct{ width int }
+
+func (s noRangeSweep) Name() string { return "no-range-sweep" }
+
+func (s noRangeSweep) Fill(slot int64, channels int, mask *bitset.Set) int {
+	w := s.width
+	if w > channels {
+		w = channels
+	}
+	if w <= 0 {
+		return 0
+	}
+	start := int(slot % int64(channels))
+	for i := 0; i < w; i++ {
+		mask.Set((start + i) % channels)
+	}
+	return w
+}
+
+func noRangeFactory(width int) adversary.Factory {
+	return adversary.NewFactory("no-range-sweep",
+		func(*rng.Source) adversary.Strategy { return noRangeSweep{width: width} })
+}
+
+// TestEngineEquivalenceMatrix is the dense-equivalence oracle for the
+// sparse engine: for every algorithm family × adversary class × (N, T)
+// point × seed, a sparse run must produce Metrics byte-identical to the
+// dense reference run (and fail identically if it fails). The adversary
+// axis covers nil, closed-form oblivious, randomised oblivious (whose
+// SpendRange must keep the jam stream aligned), a strategy without
+// SpendRange (per-slot fallback), and adaptive (which disables range
+// skipping entirely).
+func TestEngineEquivalenceMatrix(t *testing.T) {
+	params := core.Sim()
+	type algCase struct {
+		name  string
+		build func(n int, budget int64) func() (protocol.Algorithm, error)
+		slow  bool // MultiCastAdv runs ~100× longer; use trimmed points
+	}
+	algs := []algCase{
+		{"MultiCastCore", func(n int, b int64) func() (protocol.Algorithm, error) {
+			return func() (protocol.Algorithm, error) { return core.NewMultiCastCore(params, n, b) }
+		}, false},
+		{"MultiCast", func(n int, b int64) func() (protocol.Algorithm, error) {
+			return func() (protocol.Algorithm, error) { return core.NewMultiCast(params, n) }
+		}, false},
+		{"MultiCast(C)", func(n int, b int64) func() (protocol.Algorithm, error) {
+			return func() (protocol.Algorithm, error) { return core.NewMultiCastC(params, n, n/4) }
+		}, false},
+		{"MultiCastAdv", func(n int, b int64) func() (protocol.Algorithm, error) {
+			return func() (protocol.Algorithm, error) { return core.NewMultiCastAdv(params) }
+		}, true},
+		{"MultiCastAdv(C)", func(n int, b int64) func() (protocol.Algorithm, error) {
+			return func() (protocol.Algorithm, error) { return core.NewMultiCastAdvC(params, 8) }
+		}, true},
+		{"SingleChannel", func(n int, b int64) func() (protocol.Algorithm, error) {
+			return func() (protocol.Algorithm, error) { return singlechan.New(singlechan.DefaultParams(), n) }
+		}, false},
+	}
+	advs := []struct {
+		name    string
+		factory adversary.Factory
+	}{
+		{"nil", nil},
+		{"block", adversary.BlockFraction(0.6)},
+		{"rand", adversary.RandomFraction(0.4)},
+		{"bursty", adversary.Bursty(0.8, 40, 160)},
+		{"norange", noRangeFactory(3)},
+		{"reactive", adversary.Reactive(0.6)},
+	}
+	type point struct {
+		n        int
+		budget   int64
+		maxSlots int64
+	}
+	points := []point{
+		{16, 2_000, 1 << 24},
+		{32, 12_000, 1 << 24},
+	}
+	// The MultiCastAdv family runs orders of magnitude longer per trial, so
+	// its points use smaller budgets and clamp MaxSlots: equivalence must
+	// hold on the ErrMaxSlots truncation path too, so clamped cells are a
+	// valid (and affordable) part of the oracle.
+	slowPoints := []point{
+		{16, 800, 1 << 19},
+		{32, 2_000, 1 << 19},
+	}
+	seeds := []uint64{1, 2}
+	if testing.Short() {
+		points = points[:1]
+		slowPoints = slowPoints[:1]
+		seeds = seeds[:1]
+	}
+
+	for _, alg := range algs {
+		for _, adv := range advs {
+			pts := points
+			if alg.slow {
+				pts = slowPoints
+			}
+			for _, pt := range pts {
+				alg, adv, pt := alg, adv, pt
+				name := fmt.Sprintf("%s/%s/n%d-T%d", alg.name, adv.name, pt.n, pt.budget)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					for _, seed := range seeds {
+						cfg := Config{
+							N:         pt.n,
+							Algorithm: alg.build(pt.n, pt.budget),
+							Adversary: adv.factory,
+							Budget:    pt.budget,
+							Seed:      seed,
+							MaxSlots:  pt.maxSlots,
+						}
+						cfg.Engine = EngineDense
+						want, errD := Run(cfg)
+						cfg.Engine = EngineSparse
+						got, errS := Run(cfg)
+						if (errD == nil) != (errS == nil) ||
+							errors.Is(errD, ErrMaxSlots) != errors.Is(errS, ErrMaxSlots) {
+							t.Fatalf("seed %d: error mismatch: dense %v, sparse %v", seed, errD, errS)
+						}
+						if got != want {
+							t.Fatalf("seed %d: engines diverge\n dense  %+v\n sparse %+v", seed, want, got)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEngineAutoMatchesDense pins the Auto resolution: whatever engine it
+// picks — sparse for the oblivious all-Sleeper case, dense when an
+// Observer or adaptive Eve forces per-slot work — the metrics must equal
+// the dense reference.
+func TestEngineAutoMatchesDense(t *testing.T) {
+	for _, adv := range []adversary.Factory{nil, adversary.RandomFraction(0.5), adversary.Camper(16, 8)} {
+		cfg := Config{
+			N: 32,
+			Algorithm: func() (protocol.Algorithm, error) {
+				return core.NewMultiCast(core.Sim(), 32)
+			},
+			Adversary: adv,
+			Budget:    8_000,
+			Seed:      11,
+		}
+		cfg.Engine = EngineDense
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Engine = EngineAuto
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("auto diverges from dense:\n dense %+v\n auto  %+v", want, got)
+		}
+	}
+}
+
+// TestEngineSparseWithObserver: an Observer forces the sparse engine to
+// resolve every slot; the per-slot callbacks and the metrics must both
+// match the dense run exactly.
+func TestEngineSparseWithObserver(t *testing.T) {
+	type slotRec struct {
+		slot                                                   int64
+		channels, jammed, listeners, broadcasters, inf, halted int
+	}
+	record := func(engine Engine) ([]slotRec, Metrics) {
+		var recs []slotRec
+		m, err := Run(Config{
+			N: 16,
+			Algorithm: func() (protocol.Algorithm, error) {
+				return core.NewMultiCastCore(core.Sim(), 16, 1_000)
+			},
+			Adversary: adversary.Sweep(2),
+			Budget:    1_000,
+			Seed:      5,
+			Engine:    engine,
+			Observer: observerFunc(func(slot int64, channels, jammed, listeners, broadcasters, informed, halted int) {
+				recs = append(recs, slotRec{slot, channels, jammed, listeners, broadcasters, informed, halted})
+			}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs, m
+	}
+	denseRecs, denseM := record(EngineDense)
+	sparseRecs, sparseM := record(EngineSparse)
+	if sparseM != denseM {
+		t.Fatalf("metrics diverge:\n dense  %+v\n sparse %+v", denseM, sparseM)
+	}
+	if len(denseRecs) != len(sparseRecs) {
+		t.Fatalf("observer saw %d slots dense, %d sparse", len(denseRecs), len(sparseRecs))
+	}
+	for i := range denseRecs {
+		if denseRecs[i] != sparseRecs[i] {
+			t.Fatalf("slot %d: observer records diverge:\n dense  %+v\n sparse %+v", i, denseRecs[i], sparseRecs[i])
+		}
+	}
+}
+
+// observerFunc adapts a closure to Observer.
+type observerFunc func(slot int64, channels, jammed, listeners, broadcasters, informed, halted int)
+
+func (f observerFunc) Slot(slot int64, channels, jammed, listeners, broadcasters, informed, halted int) {
+	f(slot, channels, jammed, listeners, broadcasters, informed, halted)
+}
+
+// TestEngineValidation rejects out-of-range engine values.
+func TestEngineValidation(t *testing.T) {
+	_, err := Run(Config{
+		N:         16,
+		Algorithm: mcCore(16, 0),
+		Engine:    Engine(9),
+	})
+	if err == nil {
+		t.Fatal("accepted Engine(9)")
+	}
+}
+
+// TestEngineMaxSlotsEquivalence: the ErrMaxSlots path must also be
+// bit-identical — same error, same truncated metrics, same Eve spend for
+// the skipped tail.
+func TestEngineMaxSlotsEquivalence(t *testing.T) {
+	cfg := Config{
+		N: 16,
+		Algorithm: func() (protocol.Algorithm, error) {
+			return core.NewMultiCast(core.Sim(), 16)
+		},
+		Adversary: adversary.FullBurst(0),
+		Budget:    1 << 40, // Eve outlasts MaxSlots: nodes can never halt
+		Seed:      3,
+		MaxSlots:  4_096,
+	}
+	cfg.Engine = EngineDense
+	want, errD := Run(cfg)
+	cfg.Engine = EngineSparse
+	got, errS := Run(cfg)
+	if !errors.Is(errD, ErrMaxSlots) || !errors.Is(errS, ErrMaxSlots) {
+		t.Fatalf("expected ErrMaxSlots from both, got dense %v, sparse %v", errD, errS)
+	}
+	if got != want {
+		t.Fatalf("truncated metrics diverge:\n dense  %+v\n sparse %+v", want, got)
+	}
+}
 
 // TestMultiCastCFullSpectrumEquivalence: with C = n/2 the simulation layer
 // of Figure 5 degenerates to rounds of one slot, so MultiCast(C = n/2)

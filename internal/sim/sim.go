@@ -4,6 +4,13 @@
 // paper's safety invariants, and collects the metrics the experiments
 // report.
 //
+// Two slot-loop implementations exist (Config.Engine): the dense
+// reference loop steps every non-halted node every slot, while the sparse
+// fast path (sparse.go) uses the protocol.Sleeper contract to skip slots
+// in which no node acts, charging Eve for skipped jamming in aggregate.
+// Both produce bit-identical Metrics; the dense loop is retained as the
+// equivalence oracle.
+//
 // One goroutine drives one execution; statistical replication is done by
 // RunTrials, which fans independent seeds out over a worker pool. The
 // engine is deterministic given (Config, Seed): parallel and serial trial
@@ -14,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"multicast/internal/adversary"
@@ -22,6 +30,52 @@ import (
 	"multicast/internal/radio"
 	"multicast/internal/rng"
 )
+
+// Engine selects the slot-loop implementation.
+type Engine uint8
+
+const (
+	// EngineAuto (the zero value) picks Sparse when every node implements
+	// protocol.Sleeper, the adversary is oblivious, and no Observer is
+	// attached; it falls back to Dense otherwise.
+	EngineAuto Engine = iota
+	// EngineDense is the reference implementation: every non-halted node
+	// is stepped in every slot. It is retained as the equivalence oracle
+	// for the sparse fast path.
+	EngineDense
+	// EngineSparse runs the wake-list fast path: nodes that declare their
+	// next non-idle slot via protocol.Sleeper are skipped in bulk, and
+	// slot ranges in which no node acts are fast-forwarded with aggregate
+	// adversary accounting. Executions are bit-identical to EngineDense;
+	// adaptive adversaries and Observers disable range skipping (every
+	// slot still resolves) but idle nodes are still not stepped.
+	EngineSparse
+)
+
+// ParseEngine resolves an engine name ("auto", "dense", "sparse",
+// case-insensitive) to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	for _, e := range []Engine{EngineAuto, EngineDense, EngineSparse} {
+		if strings.EqualFold(s, e.String()) {
+			return e, nil
+		}
+	}
+	return EngineAuto, fmt.Errorf("sim: unknown engine %q (have auto, dense, sparse)", s)
+}
+
+// String returns the engine name.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineDense:
+		return "dense"
+	case EngineSparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("Engine(%d)", uint8(e))
+	}
+}
 
 // Config describes one execution (or one family of trials).
 type Config struct {
@@ -42,6 +96,10 @@ type Config struct {
 	// Observer, if non-nil, receives per-slot callbacks (tracing). It
 	// slows the hot loop; leave nil for measurements.
 	Observer Observer
+	// Engine selects the slot-loop implementation; the zero value (Auto)
+	// uses the sparse fast path whenever it applies. Dense and Sparse
+	// produce bit-identical Metrics for every configuration.
+	Engine Engine
 }
 
 // DefaultMaxSlots bounds runaway executions (~1.3·10⁸ slots).
@@ -153,6 +211,9 @@ type execution struct {
 	adaptive adversary.Adaptive   // non-nil iff adv is adaptive (§8 extension)
 	activity []adversary.Activity // reusable observation buffer
 
+	spanner     protocol.ChannelSpanner // non-nil iff alg exposes channel spans
+	allSleepers bool                    // every node implements protocol.Sleeper
+
 	net       *radio.Network
 	mask      *bitset.Set
 	remaining int64 // Eve's remaining budget
@@ -180,6 +241,9 @@ func newExecution(cfg Config) (*execution, error) {
 	if cfg.Budget < 0 {
 		return nil, fmt.Errorf("sim: negative budget %d", cfg.Budget)
 	}
+	if cfg.Engine > EngineSparse {
+		return nil, fmt.Errorf("sim: unknown engine %v", cfg.Engine)
+	}
 	alg, err := cfg.Algorithm()
 	if err != nil {
 		return nil, err
@@ -204,13 +268,18 @@ func newExecution(cfg Config) (*execution, error) {
 	ex.nodes = make([]protocol.Node, cfg.N)
 	ex.active = make([]int, 0, cfg.N)
 	ex.prevStatus = make([]protocol.Status, cfg.N)
+	ex.allSleepers = true
 	for id := 0; id < cfg.N; id++ {
 		ex.nodes[id] = alg.NewNode(id, id == 0, root.Fork())
 		ex.active = append(ex.active, id)
 		if ex.nodes[id].Informed() {
 			ex.informedCount++
 		}
+		if _, ok := ex.nodes[id].(protocol.Sleeper); !ok {
+			ex.allSleepers = false
+		}
 	}
+	ex.spanner, _ = alg.(protocol.ChannelSpanner)
 	// The paper's theorems assume an oblivious Eve; adaptive strategies
 	// (the §8 future-work extension) opt in via the Adaptive interface
 	// and receive per-slot channel observations.
@@ -223,17 +292,51 @@ func newExecution(cfg Config) (*execution, error) {
 	return ex, nil
 }
 
+// run dispatches to the selected engine. Both engines produce bit-identical
+// Metrics; the dense loop is the reference semantics, the sparse loop the
+// fast path (see sparse.go).
 func (ex *execution) run() (Metrics, error) {
-	maxSlots := ex.cfg.MaxSlots
-	if maxSlots <= 0 {
-		maxSlots = DefaultMaxSlots
+	if ex.resolveEngine() == EngineDense {
+		return ex.runDense()
 	}
+	return ex.runSparse()
+}
+
+// resolveEngine maps Auto to a concrete engine. Sparse is chosen when it
+// can actually skip: every node declares its wake slots, the adversary is
+// oblivious (an adaptive Eve observes every slot, forcing per-slot
+// stepping), and no Observer wants per-slot callbacks. An explicit Engine
+// choice is honoured as-is — EngineSparse degrades gracefully to per-slot
+// stepping where those conditions fail, and stays bit-identical.
+func (ex *execution) resolveEngine() Engine {
+	if ex.cfg.Engine != EngineAuto {
+		return ex.cfg.Engine
+	}
+	if ex.allSleepers && ex.adaptive == nil && ex.cfg.Observer == nil {
+		return EngineSparse
+	}
+	return EngineDense
+}
+
+func (ex *execution) maxSlots() int64 {
+	if ex.cfg.MaxSlots > 0 {
+		return ex.cfg.MaxSlots
+	}
+	return DefaultMaxSlots
+}
+
+func (ex *execution) errMaxSlots(slot int64) error {
+	return fmt.Errorf("%w (slot %d, algorithm %s)", ErrMaxSlots, slot, ex.alg.Name())
+}
+
+func (ex *execution) runDense() (Metrics, error) {
+	maxSlots := ex.maxSlots()
 	for slot := int64(0); ; slot++ {
 		if slot >= maxSlots {
 			ex.fillMetrics(slot)
-			return ex.metrics, fmt.Errorf("%w (slot %d, algorithm %s)", ErrMaxSlots, slot, ex.alg.Name())
+			return ex.metrics, ex.errMaxSlots(slot)
 		}
-		ex.stepSlot(slot)
+		ex.stepSlot(slot, ex.active, true)
 		if ex.haltedCount == ex.cfg.N {
 			ex.fillMetrics(slot + 1)
 			return ex.metrics, nil
@@ -241,8 +344,13 @@ func (ex *execution) run() (Metrics, error) {
 	}
 }
 
-// stepSlot advances one slot of the execution.
-func (ex *execution) stepSlot(slot int64) {
+// stepSlot advances one slot of the execution, stepping exactly the nodes
+// in ids. The dense engine passes every non-halted node; the sparse engine
+// passes the awake subset, whose sleeping peers are guaranteed idle and
+// transition-free this slot (the protocol.Sleeper contract). ids must be
+// in ascending id order. When maintainActive is set, ids must alias
+// ex.active, which is rebuilt in place to drop freshly halted nodes.
+func (ex *execution) stepSlot(slot int64, ids []int, maintainActive bool) {
 	channels := ex.alg.Channels(slot)
 
 	// Eve's jam set is fixed before node actions resolve (obliviousness),
@@ -270,7 +378,7 @@ func (ex *execution) stepSlot(slot int64) {
 	ex.listeners = ex.listeners[:0]
 	ex.channels = ex.channels[:0]
 	broadcasters := 0
-	for _, id := range ex.active {
+	for _, id := range ids {
 		nd := ex.nodes[id]
 		ex.prevStatus[id] = nd.Status()
 		act := nd.Step(slot)
@@ -298,19 +406,32 @@ func (ex *execution) stepSlot(slot int64) {
 
 	// Phase 3: end-of-slot bookkeeping and status transitions.
 	ex.transitions = ex.transitions[:0]
-	out := ex.active[:0]
-	for _, id := range ex.active {
-		nd := ex.nodes[id]
-		nd.EndSlot(slot)
-		after := nd.Status()
-		if before := ex.prevStatus[id]; after != before {
-			ex.transitions = append(ex.transitions, transition{id: id, before: before, after: after})
+	if maintainActive {
+		// ids aliases ex.active; the rebuild writes behind the read
+		// cursor, so the in-place filter is safe.
+		out := ex.active[:0]
+		for _, id := range ids {
+			nd := ex.nodes[id]
+			nd.EndSlot(slot)
+			after := nd.Status()
+			if before := ex.prevStatus[id]; after != before {
+				ex.transitions = append(ex.transitions, transition{id: id, before: before, after: after})
+			}
+			if after != protocol.Halted {
+				out = append(out, id)
+			}
 		}
-		if after != protocol.Halted {
-			out = append(out, id)
+		ex.active = out
+	} else {
+		for _, id := range ids {
+			nd := ex.nodes[id]
+			nd.EndSlot(slot)
+			after := nd.Status()
+			if before := ex.prevStatus[id]; after != before {
+				ex.transitions = append(ex.transitions, transition{id: id, before: before, after: after})
+			}
 		}
 	}
-	ex.active = out
 
 	// Informedness first: all of this slot's transitions count as
 	// simultaneous, matching the lemmas' "by the end of the iteration".

@@ -1,0 +1,299 @@
+// Sparse slot engine: the paper's schedules leave most nodes idle in most
+// slots, so stepping every node every slot (the dense loop) wastes almost
+// all of its work. Nodes that implement protocol.Sleeper pre-compute their
+// next non-idle slot — making exactly the random draws the dense per-slot
+// path would have made — and the engine keeps them in a wake list: a
+// bucket ring over the next 64 slots with a min-heap overflow tier.
+// A slot executes only the nodes waking in it; slot ranges in which no node
+// wakes are skipped in bulk, with Eve's jamming charged in aggregate via
+// adversary.RangeSpender (jam sets in unobserved slots only matter through
+// their size). Executions are bit-identical to the dense engine for every
+// configuration; TestEngineEquivalenceMatrix and FuzzEngineEquivalence pin
+// that down.
+
+package sim
+
+import (
+	"math/bits"
+
+	"multicast/internal/adversary"
+	"multicast/internal/protocol"
+)
+
+// wakeEntry is one node's scheduled wake slot.
+type wakeEntry struct {
+	slot int64
+	id   int32
+}
+
+// wakeHeap is a binary min-heap of wake entries ordered by slot. It backs
+// the wake ring's overflow tier, so it only sees far-future wakes.
+type wakeHeap []wakeEntry
+
+func (h *wakeHeap) push(e wakeEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[i].slot >= (*h)[parent].slot {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *wakeHeap) popMin() wakeEntry {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && (*h)[l].slot < (*h)[smallest].slot {
+			smallest = l
+		}
+		if r < last && (*h)[r].slot < (*h)[smallest].slot {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// ringWindow is the wake ring's span: one bucket per slot of the next
+// ringWindow slots, with a 64-bit occupancy mask for O(1) next-wake
+// queries. Wake gaps are geometrically distributed with mean 1/(2p), so
+// most wakes land inside the window; the rest overflow to the heap.
+const ringWindow = 64
+
+// wakeRing is a two-tier calendar queue over wake slots. Near-future
+// wakes (slot ∈ [base, base+64)) live in per-slot buckets addressed by
+// slot&63 — push and pop are O(1) — while far-future wakes wait in a
+// min-heap and migrate into the ring as the window advances. Same-slot
+// bucket contents are sorted before use, because stepSlot requires
+// ascending node order for bit-identical transition ordering.
+type wakeRing struct {
+	base     int64 // buckets cover slots [base, base+ringWindow)
+	mask     uint64
+	buckets  [ringWindow][]int32
+	overflow wakeHeap
+	size     int
+}
+
+func newWakeRing(capacity int) *wakeRing {
+	return &wakeRing{overflow: make(wakeHeap, 0, capacity)}
+}
+
+func (w *wakeRing) push(slot int64, id int32) {
+	w.size++
+	if slot < w.base+ringWindow {
+		b := int(slot & (ringWindow - 1))
+		w.buckets[b] = append(w.buckets[b], id)
+		w.mask |= 1 << b
+		return
+	}
+	w.overflow.push(wakeEntry{slot: slot, id: id})
+}
+
+// nextWakeSlot returns the earliest scheduled wake ≥ cur. The caller must
+// have advanced the window to cur first. Returns false when empty.
+func (w *wakeRing) nextWakeSlot(cur int64) (int64, bool) {
+	if w.size == 0 {
+		return 0, false
+	}
+	if w.mask != 0 {
+		// Rotate so bit k corresponds to slot cur+k; every occupied
+		// bucket holds slots in [cur, base+ringWindow), so the first set
+		// bit is the next ring wake. advance(cur) has already migrated
+		// every overflow entry below cur+ringWindow into the buckets, so
+		// any ring hit precedes the overflow head.
+		rot := bits.RotateLeft64(w.mask, -int(cur&(ringWindow-1)))
+		return cur + int64(bits.TrailingZeros64(rot)), true
+	}
+	return w.overflow[0].slot, true
+}
+
+// advance moves the window start to cur and migrates overflow entries
+// that now fit. Buckets for slots < cur are necessarily empty (they were
+// popped, or never filled), so reusing them for [cur, cur+ringWindow) is
+// safe.
+func (w *wakeRing) advance(cur int64) {
+	w.base = cur
+	for len(w.overflow) > 0 && w.overflow[0].slot < cur+ringWindow {
+		e := w.overflow.popMin()
+		b := int(e.slot & (ringWindow - 1))
+		w.buckets[b] = append(w.buckets[b], e.id)
+		w.mask |= 1 << b
+	}
+}
+
+// popSlot appends (in ascending id order) the ids waking exactly at cur
+// and returns the extended slice. The caller must have advanced the
+// window to cur, so the bucket holds exactly the slot-cur entries.
+func (w *wakeRing) popSlot(cur int64, dst []int) []int {
+	b := int(cur & (ringWindow - 1))
+	ids := w.buckets[b]
+	if len(ids) == 0 {
+		return dst
+	}
+	// Insertion sort: entries arrive from different push slots, but the
+	// per-slot batches are already ascending, so this is near-linear.
+	for i := 1; i < len(ids); i++ {
+		v := ids[i]
+		j := i - 1
+		for j >= 0 && ids[j] > v {
+			ids[j+1] = ids[j]
+			j--
+		}
+		ids[j+1] = v
+	}
+	for _, id := range ids {
+		dst = append(dst, int(id))
+	}
+	w.size -= len(ids)
+	w.buckets[b] = ids[:0]
+	w.mask &^= 1 << b
+	return dst
+}
+
+// nextWake returns node id's next wake slot at or after now. Nodes without
+// a Sleeper implementation wake every slot, which degenerates gracefully
+// to dense stepping for them alone.
+func (ex *execution) nextWake(id int, now int64) int64 {
+	if sl, ok := ex.nodes[id].(protocol.Sleeper); ok {
+		if w := sl.NextActive(now); w >= now {
+			return w
+		}
+	}
+	return now
+}
+
+// runSparse is the wake-list slot loop.
+func (ex *execution) runSparse() (Metrics, error) {
+	maxSlots := ex.maxSlots()
+	// Range skipping needs the slots between wakes to be genuinely
+	// unobserved: an adaptive Eve senses every slot, and an Observer wants
+	// every slot reported, so either forces the engine to resolve each
+	// slot (idle nodes are still not stepped).
+	skipOK := ex.adaptive == nil && ex.cfg.Observer == nil
+
+	ring := newWakeRing(ex.cfg.N)
+	for _, id := range ex.active {
+		ring.push(ex.nextWake(id, 0), int32(id))
+	}
+	awake := make([]int, 0, ex.cfg.N)
+
+	cur := int64(0)
+	for {
+		ring.advance(cur)
+		next, ok := ring.nextWakeSlot(cur)
+		if !ok {
+			next = maxSlots
+		}
+		if next > cur {
+			if skipOK {
+				to := next
+				if to > maxSlots {
+					to = maxSlots
+				}
+				ex.skipRange(cur, to)
+				cur = to
+			} else {
+				for cur < next && cur < maxSlots {
+					ex.stepSlot(cur, nil, false)
+					cur++
+				}
+			}
+			ring.advance(cur)
+		}
+		if cur >= maxSlots {
+			ex.fillMetrics(cur)
+			return ex.metrics, ex.errMaxSlots(cur)
+		}
+
+		awake = ring.popSlot(cur, awake[:0])
+		ex.stepSlot(cur, awake, false)
+		for _, id := range awake {
+			if ex.nodes[id].Status() != protocol.Halted {
+				ring.push(ex.nextWake(id, cur+1), int32(id))
+			}
+		}
+		if ex.haltedCount == ex.cfg.N {
+			ex.fillMetrics(cur + 1)
+			return ex.metrics, nil
+		}
+		cur++
+	}
+}
+
+// skipRange charges Eve for the unexecuted slots [from, to), splitting the
+// range into constant-channel spans.
+func (ex *execution) skipRange(from, to int64) {
+	for from < to {
+		if ex.remaining <= 0 {
+			// Out of budget: the dense loop stops calling Fill entirely,
+			// so there is no strategy state (or RNG) left to advance.
+			return
+		}
+		channels, until := ex.channelSpan(from)
+		end := until
+		if end > to {
+			end = to
+		}
+		ex.chargeRange(from, end, channels)
+		from = end
+	}
+}
+
+// channelSpan returns the channel count at slot and the end of the span
+// over which it is known constant.
+func (ex *execution) channelSpan(slot int64) (int, int64) {
+	if ex.spanner != nil {
+		channels, until := ex.spanner.ChannelSpan(slot)
+		if until <= slot {
+			until = slot + 1
+		}
+		return channels, until
+	}
+	return ex.alg.Channels(slot), slot + 1
+}
+
+// chargeRange spends Eve's budget for skipped slots [from, to), all with
+// the same channel count. The aggregate path asks the strategy for its
+// ideal total and caps it at the remaining budget — the dense per-slot
+// spend min(count, remaining) telescopes to exactly that. Strategies
+// without SpendRange fall back to per-slot Fill against a scratch mask,
+// reproducing the dense loop's accounting call for call.
+func (ex *execution) chargeRange(from, to int64, channels int) {
+	if rs, ok := ex.adv.(adversary.RangeSpender); ok {
+		spend := rs.SpendRange(from, to, channels)
+		if spend > ex.remaining {
+			spend = ex.remaining
+		}
+		ex.remaining -= spend
+		ex.net.ChargeEve(spend)
+		return
+	}
+	ex.mask.Grow(channels)
+	for s := from; s < to && ex.remaining > 0; s++ {
+		count := ex.adv.Fill(s, channels, ex.mask)
+		if count == 0 {
+			continue
+		}
+		ex.mask.Reset()
+		spend := int64(count)
+		if spend > ex.remaining {
+			spend = ex.remaining
+		}
+		ex.remaining -= spend
+		ex.net.ChargeEve(spend)
+	}
+}

@@ -109,6 +109,11 @@ func (a *Broadcast) Name() string { return "SingleChannel[GKPPSY14-shape]" }
 // Channels implements protocol.Algorithm: always exactly one.
 func (a *Broadcast) Channels(slot int64) int { return 1 }
 
+// ChannelSpan implements protocol.ChannelSpanner: always one channel.
+func (a *Broadcast) ChannelSpan(slot int64) (int, int64) {
+	return 1, math.MaxInt64
+}
+
 // StartEpoch returns i₀.
 func (a *Broadcast) StartEpoch() int { return a.start }
 
@@ -173,6 +178,10 @@ type node struct {
 	haltMax float64
 	noisy   int64
 	slotIdx int64
+
+	// pending caches the action NextActive pre-drew for its wake slot.
+	pending    protocol.Action
+	hasPending bool
 }
 
 func (nd *node) startEpoch(i int) {
@@ -193,6 +202,10 @@ func (nd *node) Informed() bool { return nd.knowsM }
 func (nd *node) Epoch() int { return nd.epoch }
 
 func (nd *node) Step(slot int64) protocol.Action {
+	if nd.hasPending {
+		nd.hasPending = false
+		return nd.pending
+	}
 	u := nd.r.Float64()
 	switch {
 	case u < nd.lp:
@@ -228,4 +241,52 @@ func (nd *node) EndSlot(slot int64) {
 		return
 	}
 	nd.startEpoch(nd.epoch + 1)
+}
+
+// NextActive implements protocol.Sleeper: replay the per-slot coins,
+// absorbing idle slots and non-halting epoch boundaries. Only an informed
+// node with a frozen noisy counter below the threshold can halt at a
+// boundary, so the outcome of every absorbed boundary is already decided;
+// the hoisted loop state is reloaded after each epoch boundary.
+func (nd *node) NextActive(now int64) int64 {
+	if nd.hasPending {
+		return now
+	}
+	r := nd.r
+	informed := nd.status == protocol.Informed
+	for {
+		var (
+			lp        = nd.lp
+			act       = nd.lp + nd.bp
+			length    = nd.length
+			haltAtEnd = informed && float64(nd.noisy) < nd.haltMax
+			slotIdx   = nd.slotIdx
+		)
+		for {
+			u := r.Float64()
+			if u < lp || (u < act && informed) {
+				nd.slotIdx = slotIdx
+				if u < lp {
+					nd.pending = protocol.Action{Kind: protocol.Listen, Channel: 0}
+				} else {
+					nd.pending = protocol.Action{Kind: protocol.Broadcast, Channel: 0, Payload: radio.MsgM}
+				}
+				nd.hasPending = true
+				return now
+			}
+			if slotIdx+1 >= length {
+				if haltAtEnd {
+					nd.slotIdx = slotIdx
+					nd.pending = protocol.Action{Kind: protocol.Idle}
+					nd.hasPending = true
+					return now
+				}
+				nd.startEpoch(nd.epoch + 1)
+				now++
+				break // lᵢ, bᵢ, Lᵢ, haltMax changed: reload the loop state
+			}
+			slotIdx++
+			now++
+		}
+	}
 }

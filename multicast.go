@@ -36,6 +36,22 @@ type Observer = sim.Observer
 // Adversary is a jammer strategy family; see the *Jammer constructors.
 type Adversary = adversary.Factory
 
+// Engine selects the slot-loop implementation; see the engine constants.
+type Engine = sim.Engine
+
+const (
+	// EngineAuto (default) picks the sparse fast path when it applies.
+	EngineAuto = sim.EngineAuto
+	// EngineDense steps every node every slot (reference implementation).
+	EngineDense = sim.EngineDense
+	// EngineSparse skips slots in which no node acts. Bit-identical to
+	// EngineDense for every configuration.
+	EngineSparse = sim.EngineSparse
+)
+
+// ParseEngine resolves an engine name ("auto", "dense", "sparse").
+func ParseEngine(s string) (Engine, error) { return sim.ParseEngine(s) }
+
 // ErrMaxSlots reports that an execution hit the MaxSlots safety valve.
 var ErrMaxSlots = sim.ErrMaxSlots
 
@@ -98,6 +114,8 @@ type Config struct {
 	MaxSlots int64
 	// Observer, if set, receives per-slot callbacks (slows the run).
 	Observer Observer
+	// Engine selects the slot-loop implementation (default: EngineAuto).
+	Engine Engine
 }
 
 // build resolves the Config into an engine config.
@@ -150,6 +168,7 @@ func (cfg Config) build() (sim.Config, error) {
 		Seed:      cfg.Seed,
 		MaxSlots:  cfg.MaxSlots,
 		Observer:  cfg.Observer,
+		Engine:    cfg.Engine,
 	}, nil
 }
 
