@@ -30,8 +30,13 @@ func benchScenario() multicast.Config {
 }
 
 // benchTrials is sized so each engine measures over ≥ 1s of work; short
-// windows made the reported ratio noisy.
-const benchTrials = 25
+// windows made the reported ratio noisy. Quick mode (-quick) trims it to
+// a smoke test: CI uses it to prove the benchmark plumbing still runs
+// and the engines still agree, not to measure a trustworthy ratio.
+const (
+	benchTrials      = 25
+	benchTrialsQuick = 3
+)
 
 // engineResult is one engine's measurement.
 type engineResult struct {
@@ -58,12 +63,12 @@ type benchReport struct {
 
 // runEngine executes the scenario's trials serially on one engine so the
 // two measurements are comparable and unaffected by trial parallelism.
-func runEngine(engine multicast.Engine) (engineResult, error) {
+func runEngine(engine multicast.Engine, trials uint64) (engineResult, error) {
 	cfg := benchScenario()
 	cfg.Engine = engine
 	res := engineResult{Engine: engine.String()}
 	start := time.Now()
-	for seed := uint64(1); seed <= benchTrials; seed++ {
+	for seed := uint64(1); seed <= trials; seed++ {
 		cfg.Seed = seed
 		m, err := multicast.Run(cfg)
 		if err != nil {
@@ -83,18 +88,22 @@ func runEngine(engine multicast.Engine) (engineResult, error) {
 
 // runEngineBench measures dense vs sparse slots/sec on the fixed scenario
 // and writes the JSON report to path.
-func runEngineBench(path string) error {
+func runEngineBench(path string, quick bool) error {
+	trials := uint64(benchTrials)
+	if quick {
+		trials = benchTrialsQuick
+	}
 	scenario := benchScenario()
 	// Warm-up pass so one-time costs (page faults, lazy allocations) hit
 	// neither engine's measurement.
-	if _, err := runEngine(multicast.EngineDense); err != nil {
+	if _, err := runEngine(multicast.EngineDense, trials); err != nil {
 		return err
 	}
-	dense, err := runEngine(multicast.EngineDense)
+	dense, err := runEngine(multicast.EngineDense, trials)
 	if err != nil {
 		return err
 	}
-	sparse, err := runEngine(multicast.EngineSparse)
+	sparse, err := runEngine(multicast.EngineSparse, trials)
 	if err != nil {
 		return err
 	}
@@ -113,7 +122,7 @@ func runEngineBench(path string) error {
 			"coreP":     1.0 / 64,
 			"budget":    scenario.Budget,
 			"adversary": scenario.Adversary.Name(),
-			"trials":    benchTrials,
+			"trials":    trials,
 		},
 		Dense:   dense,
 		Sparse:  sparse,

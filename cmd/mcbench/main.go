@@ -9,6 +9,8 @@
 //	mcbench -run E3,E9        run a subset
 //	mcbench -quick            trimmed sweeps (~2 minutes)
 //	mcbench -markdown         emit GitHub-flavoured markdown (for EXPERIMENTS.md)
+//	mcbench -bench-sim BENCH_sim.json           measure dense vs sparse engines
+//	mcbench -bench-sim out.json -quick          engine-benchmark smoke run (CI)
 package main
 
 import (
@@ -42,7 +44,7 @@ func main() {
 	}
 
 	if *benchSim != "" {
-		if err := runEngineBench(*benchSim); err != nil {
+		if err := runEngineBench(*benchSim, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "mcbench: engine benchmark failed: %v\n", err)
 			os.Exit(1)
 		}

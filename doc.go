@@ -58,8 +58,18 @@
 //     both observe every slot.
 //   - EngineAuto (the default) picks Sparse whenever it applies.
 //
+// Node randomness is skip-sampled: the protocols' per-slot choices are
+// i.i.d. within a step window, so each node draws the geometric gap to
+// its next action in closed form (one uniform) instead of flipping one
+// coin per slot. Idle slots consume no randomness in either engine, and
+// both engines run the same node code, making them bit-identical by
+// construction. Consequence: seeded trajectories are NOT comparable with
+// releases that used per-slot coins (PR ≤ 1); all distributions are
+// unchanged.
+//
 // The two engines produce bit-identical Metrics for every configuration
 // and seed; the equivalence matrix and fuzz tests in internal/sim enforce
 // this, and `mcbench -bench-sim BENCH_sim.json` tracks the speedup
-// (≥ 2× on the low-density MultiCastCore scenario).
+// (≥ 2× on the low-density MultiCastCore scenario; ~5× after the
+// gap-draw refactor).
 package multicast

@@ -358,17 +358,17 @@ func (s *bursty) Name() string {
 	return fmt.Sprintf("bursty(f=%.2f,on=%.0f,off=%.0f)", s.f, s.meanOn, s.meanOff)
 }
 
-// geometric draws a geometric duration with the given mean (≥ 1).
+// geometric draws a geometric duration with the given mean (≥ 1): the
+// number of Bernoulli(1/mean) trials up to and including the first
+// success, drawn as one closed-form inverse-CDF sample. The old per-slot
+// loop cost E[mean] draws and capped durations at 2²⁰ slots, silently
+// truncating (and so biasing) long bursts; the closed form costs one
+// draw and is exact.
 func geometric(r *rng.Source, mean float64) int64 {
 	if mean <= 1 {
 		return 1
 	}
-	p := 1 / mean
-	d := int64(1)
-	for !r.Bernoulli(p) && d < 1<<20 {
-		d++
-	}
-	return d
+	return 1 + r.Geometric(1/mean)
 }
 
 func (s *bursty) Fill(slot int64, channels int, mask *bitset.Set) int {

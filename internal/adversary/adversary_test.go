@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -360,6 +361,39 @@ func TestBurstyFractionWithinBurst(t *testing.T) {
 	mask := bitset.New(64)
 	if n := s.Fill(0, 64, mask); n != 16 {
 		t.Fatalf("burst jam count = %d, want 16 (25%% of 64)", n)
+	}
+}
+
+func TestGeometricDurationUnbiased(t *testing.T) {
+	// The closed-form draw must reproduce the geometric mean without the
+	// old loop's 2²⁰ cap, which truncated (and so biased) long bursts.
+	r := rng.New(21)
+	for _, mean := range []float64{1, 2, 64, 4096, 1 << 21} {
+		const draws = 50_000
+		var sum float64
+		var max int64
+		for i := 0; i < draws; i++ {
+			d := geometric(r, mean)
+			if d < 1 {
+				t.Fatalf("geometric(mean=%v) = %d < 1", mean, d)
+			}
+			if d > max {
+				max = d
+			}
+			sum += float64(d)
+		}
+		got := sum / draws
+		// Duration = 1 + Geometric(1/mean): mean is `mean`, std ≈ mean.
+		tol := 5 * mean / math.Sqrt(draws)
+		if math.Abs(got-mean) > tol {
+			t.Errorf("geometric(mean=%v) sample mean = %.2f, want %.2f ± %.2f", mean, got, mean, tol)
+		}
+		// At mean = 2²¹ the longest of 50k draws exceeds the old 2²⁰ cap
+		// except with probability ≈ (1−e^{−1/2})^50000 ≈ 0: the capped
+		// loop could never produce this, so the assertion pins its removal.
+		if mean > 1<<20 && max <= 1<<20 {
+			t.Errorf("geometric(mean=%v) max duration %d never exceeded the old 2^20 cap", mean, max)
+		}
 	}
 }
 

@@ -114,9 +114,10 @@ type advNode struct {
 	// Helper bookkeeping (iˆ, jˆ).
 	helperI, helperJ int
 
-	// pending caches the action NextActive pre-drew for its wake slot.
-	pending    protocol.Action
-	hasPending bool
+	// nextOff is the window offset of the node's next action slot,
+	// pre-drawn as one geometric gap; cur.Len is the sentinel for "idle
+	// until the window boundary".
+	nextOff int64
 }
 
 func (nd *advNode) enterWindow(w StepWindow) {
@@ -125,6 +126,22 @@ func (nd *advNode) enterWindow(w StepWindow) {
 	if w.Step == 2 {
 		nd.nm, nd.nmPrime, nd.nn, nd.ns = 0, 0, 0, 0
 	}
+	nd.drawGap()
+}
+
+// drawGap draws the geometric gap to the node's next action slot in the
+// current step window. In step one a node acts with probability p
+// (uninformed listen, informed broadcast); in step two everyone acts with
+// probability 2p (listen or broadcast, equally likely). Becoming informed
+// mid-window (a step-one listen) does not change the step's action rate,
+// so the rate is a gap invariant; gaps truncate at the window boundary,
+// where enterWindow redraws under the next window's rate.
+func (nd *advNode) drawGap() {
+	q := nd.cur.P
+	if nd.cur.Step == 2 {
+		q *= 2
+	}
+	nd.nextOff = nd.offset + nd.r.GeometricCapped(q, nd.cur.Len-nd.offset)
 }
 
 func (nd *advNode) Status() protocol.Status { return nd.status }
@@ -139,38 +156,30 @@ func (nd *advNode) Phase() (i, j, step int) { return nd.cur.I, nd.cur.J, nd.cur.
 func (nd *advNode) HelperPhase() (i, j int) { return nd.helperI, nd.helperJ }
 
 func (nd *advNode) Step(slot int64) protocol.Action {
-	if nd.hasPending {
-		nd.hasPending = false
-		return nd.pending
+	if nd.offset != nd.nextOff || nd.status == protocol.Halted {
+		return protocol.Action{Kind: protocol.Idle}
 	}
 	w := &nd.cur
-	u := nd.r.Float64()
 	if w.Step == 1 {
-		// Step one (Figure 4 lines 2–8): uninformed listen w.p. p;
-		// informed/helper broadcast m w.p. p.
-		if u >= w.P {
-			return protocol.Action{Kind: protocol.Idle}
-		}
+		// Step one (Figure 4 lines 2–8): uninformed listen, informed and
+		// helper broadcast m — the action kind is determined by status.
 		ch := nd.r.Intn(w.Channels)
 		if nd.status == protocol.Uninformed {
 			return protocol.Action{Kind: protocol.Listen, Channel: ch}
 		}
 		return protocol.Action{Kind: protocol.Broadcast, Channel: ch, Payload: radio.MsgM}
 	}
-	// Step two (lines 10–20): everyone listens w.p. p and broadcasts w.p.
-	// p — the message m if informed, the beacon ± otherwise.
-	switch {
-	case u < w.P:
+	// Step two (lines 10–20): given that the node acts, listening and
+	// broadcasting are equally likely; broadcasts carry the message m if
+	// informed, the beacon ± otherwise.
+	if nd.r.Bernoulli(0.5) {
 		return protocol.Action{Kind: protocol.Listen, Channel: nd.r.Intn(w.Channels)}
-	case u < 2*w.P:
-		payload := radio.MsgM
-		if nd.status == protocol.Uninformed {
-			payload = radio.Beacon
-		}
-		return protocol.Action{Kind: protocol.Broadcast, Channel: nd.r.Intn(w.Channels), Payload: payload}
-	default:
-		return protocol.Action{Kind: protocol.Idle}
 	}
+	payload := radio.MsgM
+	if nd.status == protocol.Uninformed {
+		payload = radio.Beacon
+	}
+	return protocol.Action{Kind: protocol.Broadcast, Channel: nd.r.Intn(w.Channels), Payload: payload}
 }
 
 func (nd *advNode) Deliver(fb radio.Feedback) {
@@ -201,8 +210,15 @@ func (nd *advNode) Deliver(fb radio.Feedback) {
 }
 
 func (nd *advNode) EndSlot(slot int64) {
+	if nd.status == protocol.Halted {
+		return
+	}
+	acted := nd.offset == nd.nextOff
 	nd.offset++
 	if nd.offset < nd.cur.Len {
+		if acted {
+			nd.drawGap()
+		}
 		return
 	}
 	if nd.cur.Step == 2 {
@@ -259,62 +275,32 @@ func (nd *advNode) endOfPhase() {
 	nd.status, nd.helperI, nd.helperJ = st, hi, hj
 }
 
-// NextActive implements protocol.Sleeper: replay the per-slot coins across
-// step windows, absorbing idle slots and window boundaries whose phase
-// outcome leaves the status unchanged. The step-two counters are frozen
-// while idle, so a window's outcome is already decided when the node goes
-// quiet — any outcome that changes the status wakes the engine at the
-// window's final slot instead of being absorbed.
+// NextActive implements protocol.Sleeper. The next action slot is
+// pre-drawn, so fast-forwarding jumps straight to it; a step-two window
+// closing with no action left may still change the status, in which case
+// the engine is woken at the window's final slot instead (the counters
+// are frozen while idle, so the outcome is already decided). Absorbed
+// window boundaries run the same bookkeeping — endOfPhase and the next
+// window's gap draw — as the dense EndSlot.
 func (nd *advNode) NextActive(now int64) int64 {
-	if nd.hasPending {
-		return now
-	}
 	for {
-		w := &nd.cur
-		u := nd.r.Float64()
-		if w.Step == 1 {
-			if u < w.P {
-				ch := nd.r.Intn(w.Channels)
-				if nd.status == protocol.Uninformed {
-					nd.pending = protocol.Action{Kind: protocol.Listen, Channel: ch}
-				} else {
-					nd.pending = protocol.Action{Kind: protocol.Broadcast, Channel: ch, Payload: radio.MsgM}
-				}
-				nd.hasPending = true
-				return now
-			}
-		} else {
-			switch {
-			case u < w.P:
-				nd.pending = protocol.Action{Kind: protocol.Listen, Channel: nd.r.Intn(w.Channels)}
-				nd.hasPending = true
-				return now
-			case u < 2*w.P:
-				payload := radio.MsgM
-				if nd.status == protocol.Uninformed {
-					payload = radio.Beacon
-				}
-				nd.pending = protocol.Action{Kind: protocol.Broadcast, Channel: nd.r.Intn(w.Channels), Payload: payload}
-				nd.hasPending = true
-				return now
-			}
+		if nd.nextOff < nd.cur.Len {
+			now += nd.nextOff - nd.offset
+			nd.offset = nd.nextOff
+			return now
 		}
-		// Idle slot. A closing step-two window may change the status.
-		if nd.offset+1 >= w.Len && w.Step == 2 {
+		if nd.cur.Step == 2 {
 			if st, _, _ := nd.phaseOutcome(); st != nd.status {
-				nd.pending = protocol.Action{Kind: protocol.Idle}
-				nd.hasPending = true
+				now += nd.cur.Len - 1 - nd.offset
+				nd.offset = nd.cur.Len - 1
 				return now
 			}
 		}
-		nd.offset++
-		if nd.offset >= nd.cur.Len {
-			if nd.cur.Step == 2 {
-				nd.endOfPhase() // status unchanged, checked above
-			}
-			nd.win++
-			nd.enterWindow(nd.sched.Window(nd.win))
+		now += nd.cur.Len - nd.offset
+		if nd.cur.Step == 2 {
+			nd.endOfPhase() // status unchanged, checked above
 		}
-		now++
+		nd.win++
+		nd.enterWindow(nd.sched.Window(nd.win))
 	}
 }

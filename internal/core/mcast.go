@@ -87,9 +87,10 @@ type mcastNode struct {
 	noisy   int64   // Nn
 	slotIdx int64   // slot within the iteration
 
-	// pending caches the action NextActive pre-drew for its wake slot.
-	pending    protocol.Action
-	hasPending bool
+	// nextIdx is the iteration index of the node's next action slot,
+	// pre-drawn as one geometric gap; iterLen is the sentinel for "idle
+	// until the iteration boundary".
+	nextIdx int64
 }
 
 func (nd *mcastNode) startIteration(i int) {
@@ -99,6 +100,19 @@ func (nd *mcastNode) startIteration(i int) {
 	nd.haltMax = nd.alg.params.HaltRatio * nd.p * float64(nd.iterLen)
 	nd.noisy = 0
 	nd.slotIdx = 0
+	nd.drawGap()
+}
+
+// drawGap draws the geometric gap to the node's next action slot at the
+// current iteration's rate — pᵢ to listen, plus pᵢ to broadcast when
+// informed; see coreNode.drawGap. Gaps truncate at the iteration
+// boundary, where startIteration redraws under the new pᵢ₊₁.
+func (nd *mcastNode) drawGap() {
+	q := nd.p
+	if nd.status == protocol.Informed {
+		q *= 2
+	}
+	nd.nextIdx = nd.slotIdx + nd.r.GeometricCapped(q, nd.iterLen-nd.slotIdx)
 }
 
 func (nd *mcastNode) Status() protocol.Status { return nd.status }
@@ -108,20 +122,16 @@ func (nd *mcastNode) Informed() bool { return nd.knowsM }
 // Iteration returns the node's current iteration index (test hook).
 func (nd *mcastNode) Iteration() int { return nd.iter }
 
+// Step returns Idle without consuming randomness until the pre-drawn
+// action slot; see coreNode.Step.
 func (nd *mcastNode) Step(slot int64) protocol.Action {
-	if nd.hasPending {
-		nd.hasPending = false
-		return nd.pending
-	}
-	u := nd.r.Float64()
-	switch {
-	case u < nd.p:
-		return protocol.Action{Kind: protocol.Listen, Channel: nd.r.Intn(nd.alg.channels)}
-	case u < 2*nd.p && nd.status == protocol.Informed:
-		return protocol.Action{Kind: protocol.Broadcast, Channel: nd.r.Intn(nd.alg.channels), Payload: radio.MsgM}
-	default:
+	if nd.slotIdx != nd.nextIdx || nd.status == protocol.Halted {
 		return protocol.Action{Kind: protocol.Idle}
 	}
+	if nd.status == protocol.Informed && nd.r.Bernoulli(0.5) {
+		return protocol.Action{Kind: protocol.Broadcast, Channel: nd.r.Intn(nd.alg.channels), Payload: radio.MsgM}
+	}
+	return protocol.Action{Kind: protocol.Listen, Channel: nd.r.Intn(nd.alg.channels)}
 }
 
 func (nd *mcastNode) Deliver(fb radio.Feedback) {
@@ -137,60 +147,42 @@ func (nd *mcastNode) Deliver(fb radio.Feedback) {
 }
 
 func (nd *mcastNode) EndSlot(slot int64) {
+	if nd.status == protocol.Halted {
+		return
+	}
+	acted := nd.slotIdx == nd.nextIdx
 	nd.slotIdx++
-	if nd.slotIdx < nd.iterLen {
+	if nd.slotIdx >= nd.iterLen {
+		if float64(nd.noisy) < nd.haltMax {
+			nd.status = protocol.Halted
+			return
+		}
+		nd.startIteration(nd.iter + 1)
 		return
 	}
-	if float64(nd.noisy) < nd.haltMax {
-		nd.status = protocol.Halted
-		return
+	if acted {
+		nd.drawGap()
 	}
-	nd.startIteration(nd.iter + 1)
 }
 
 // NextActive implements protocol.Sleeper; see coreNode.NextActive. The
 // only extra wrinkle is that absorbed iteration boundaries advance pᵢ and
-// Rᵢ, exactly as the dense EndSlot would — the hoisted loop state is
-// reloaded after each boundary.
+// Rᵢ, exactly as the dense EndSlot would — startIteration redraws the
+// gap under the new rate.
 func (nd *mcastNode) NextActive(now int64) int64 {
-	if nd.hasPending {
-		return now
-	}
-	r := nd.r
-	informed := nd.status == protocol.Informed
 	for {
-		var (
-			p         = nd.p
-			iterLen   = nd.iterLen
-			haltAtEnd = float64(nd.noisy) < nd.haltMax
-			slotIdx   = nd.slotIdx
-		)
-		for {
-			u := r.Float64()
-			if u < p || (u < 2*p && informed) {
-				nd.slotIdx = slotIdx
-				if u < p {
-					nd.pending = protocol.Action{Kind: protocol.Listen, Channel: r.Intn(nd.alg.channels)}
-				} else {
-					nd.pending = protocol.Action{Kind: protocol.Broadcast, Channel: r.Intn(nd.alg.channels), Payload: radio.MsgM}
-				}
-				nd.hasPending = true
-				return now
-			}
-			if slotIdx+1 >= iterLen {
-				if haltAtEnd {
-					nd.slotIdx = slotIdx
-					nd.pending = protocol.Action{Kind: protocol.Idle}
-					nd.hasPending = true
-					return now
-				}
-				nd.startIteration(nd.iter + 1)
-				now++
-				break // pᵢ, Rᵢ, haltMax changed: reload the loop state
-			}
-			slotIdx++
-			now++
+		if nd.nextIdx < nd.iterLen {
+			now += nd.nextIdx - nd.slotIdx
+			nd.slotIdx = nd.nextIdx
+			return now
 		}
+		if float64(nd.noisy) < nd.haltMax {
+			now += nd.iterLen - 1 - nd.slotIdx
+			nd.slotIdx = nd.iterLen - 1
+			return now
+		}
+		now += nd.iterLen - nd.slotIdx
+		nd.startIteration(nd.iter + 1)
 	}
 }
 
@@ -264,7 +256,6 @@ func (a *MultiCastC) NewNode(id int, source bool, r *rng.Source) protocol.Node {
 		nd.knowsM = true
 	}
 	nd.startIteration(a.inner.params.StartIter)
-	nd.startRound()
 	return nd
 }
 
@@ -282,9 +273,13 @@ type mcastCNode struct {
 	round   int64 // round index within the iteration
 	sub     int64 // sub-slot index within the round
 
-	// Per-round draw, made at round start (one virtual MultiCast slot).
-	act     protocol.Kind
-	virtual int // virtual channel in [0, n/2)
+	// nextRound is the iteration index of the node's next active round,
+	// pre-drawn as one geometric gap over rounds (iterLen = idle until
+	// the iteration boundary), together with that round's action and
+	// virtual channel in [0, n/2).
+	nextRound int64
+	act       protocol.Kind
+	virtual   int
 }
 
 func (nd *mcastCNode) startIteration(i int) {
@@ -294,20 +289,30 @@ func (nd *mcastCNode) startIteration(i int) {
 	nd.haltMax = nd.alg.inner.params.HaltRatio * nd.p * float64(nd.iterLen)
 	nd.noisy = 0
 	nd.round = 0
+	nd.drawRoundGap()
 }
 
-// startRound draws the virtual slot's channel and coin (Figure 5 lines 6).
-func (nd *mcastCNode) startRound() {
-	nd.sub = 0
-	u := nd.r.Float64()
-	switch {
-	case u < nd.p:
-		nd.act = protocol.Listen
-	case u < 2*nd.p && nd.status == protocol.Informed:
-		nd.act = protocol.Broadcast
-	default:
+// drawRoundGap draws the geometric gap — in rounds, since the node makes
+// one virtual-slot choice per round (Figure 5 line 6) — to its next
+// active round, and that round's action kind and virtual channel. The
+// status cannot change before the active round (Deliver requires
+// listening there), so drawing the action eagerly with the gap keeps the
+// stream order gap → kind → channel identical to the slot-level
+// MultiCast node, preserving the exact C = n/2 equivalence.
+func (nd *mcastCNode) drawRoundGap() {
+	q := nd.p
+	if nd.status == protocol.Informed {
+		q *= 2
+	}
+	nd.nextRound = nd.round + nd.r.GeometricCapped(q, nd.iterLen-nd.round)
+	if nd.nextRound >= nd.iterLen {
 		nd.act = protocol.Idle
 		return
+	}
+	if nd.status == protocol.Informed && nd.r.Bernoulli(0.5) {
+		nd.act = protocol.Broadcast
+	} else {
+		nd.act = protocol.Listen
 	}
 	nd.virtual = nd.r.Intn(nd.alg.inner.channels)
 }
@@ -320,7 +325,7 @@ func (nd *mcastCNode) Informed() bool { return nd.knowsM }
 func (nd *mcastCNode) Iteration() int { return nd.iter }
 
 func (nd *mcastCNode) Step(slot int64) protocol.Action {
-	if nd.act == protocol.Idle {
+	if nd.round != nd.nextRound || nd.status == protocol.Halted {
 		return protocol.Action{Kind: protocol.Idle}
 	}
 	// Act only in the sub-slot that hosts the virtual channel.
@@ -347,57 +352,76 @@ func (nd *mcastCNode) Deliver(fb radio.Feedback) {
 }
 
 func (nd *mcastCNode) EndSlot(slot int64) {
+	if nd.status == protocol.Halted {
+		return
+	}
 	nd.sub++
 	if nd.sub < nd.alg.subSlots {
 		return
 	}
 	// Round boundary.
+	nd.sub = 0
+	acted := nd.round == nd.nextRound
 	nd.round++
-	if nd.round < nd.iterLen {
-		nd.startRound()
+	if nd.round >= nd.iterLen {
+		// Iteration boundary (Figure 5 line 17).
+		if float64(nd.noisy) < nd.haltMax {
+			nd.status = protocol.Halted
+			return
+		}
+		nd.startIteration(nd.iter + 1)
 		return
 	}
-	// Iteration boundary (Figure 5 line 17).
-	if float64(nd.noisy) < nd.haltMax {
-		nd.status = protocol.Halted
-		return
+	if acted {
+		nd.drawRoundGap()
 	}
-	nd.startIteration(nd.iter + 1)
-	nd.startRound()
 }
 
-// NextActive implements protocol.Sleeper. The node draws once per round,
-// not per slot, so fast-forwarding works in round-sized strides: jump to
-// the sub-slot hosting the round's virtual channel, or absorb the whole
-// round (the boundary's startRound makes the next round's draws exactly
-// where the dense EndSlot would). Step needs no pending cache — it is a
-// pure function of (act, virtual, sub).
+// NextActive implements protocol.Sleeper. The next active round is
+// pre-drawn, so fast-forwarding strides over whole idle rounds with pure
+// cursor arithmetic: jump to the sub-slot hosting the active round's
+// virtual channel, wake at the iteration's final sub-slot when its
+// boundary would halt, and otherwise absorb round and iteration
+// boundaries with the same bookkeeping (and gap redraws) as EndSlot.
 func (nd *mcastCNode) NextActive(now int64) int64 {
 	for {
-		if nd.act != protocol.Idle {
+		if nd.nextRound < nd.iterLen {
 			target := int64(nd.virtual / nd.alg.c)
-			if nd.sub <= target {
-				now += target - nd.sub
+			if nd.round < nd.nextRound || nd.sub <= target {
+				now += (nd.nextRound-nd.round)*nd.alg.subSlots + target - nd.sub
+				nd.round = nd.nextRound
 				nd.sub = target
 				return now
 			}
+			// The action is behind us; the rest of the active round is
+			// idle. If it closes the iteration and the boundary would
+			// halt, the halt lands at this round's final sub-slot; run
+			// that slot so the engine observes the transition.
+			if nd.round+1 >= nd.iterLen && float64(nd.noisy) < nd.haltMax {
+				now += nd.alg.subSlots - 1 - nd.sub
+				nd.sub = nd.alg.subSlots - 1
+				return now
+			}
+			// Absorb through the round boundary, as EndSlot would.
+			now += nd.alg.subSlots - nd.sub
+			nd.sub = 0
+			nd.round++
+			if nd.round < nd.iterLen {
+				nd.drawRoundGap()
+			} else {
+				nd.startIteration(nd.iter + 1) // non-halting, checked above
+			}
+			continue
 		}
-		// The rest of the round is idle. If it closes the iteration and
-		// the frozen noisy counter is below the halt threshold, the halt
-		// lands at the round's final sub-slot; run that slot.
-		if nd.round+1 >= nd.iterLen && float64(nd.noisy) < nd.haltMax {
-			now += nd.alg.subSlots - 1 - nd.sub
+		// No action before the iteration boundary.
+		if float64(nd.noisy) < nd.haltMax {
+			now += (nd.iterLen-1-nd.round)*nd.alg.subSlots + nd.alg.subSlots - 1 - nd.sub
+			nd.round = nd.iterLen - 1
 			nd.sub = nd.alg.subSlots - 1
 			return now
 		}
-		// Absorb through the round boundary.
-		now += nd.alg.subSlots - nd.sub
-		nd.round++
-		if nd.round < nd.iterLen {
-			nd.startRound()
-			continue
-		}
+		now += (nd.iterLen-nd.round)*nd.alg.subSlots - nd.sub
+		nd.sub = 0
 		nd.startIteration(nd.iter + 1)
-		nd.startRound()
 	}
 }

@@ -91,6 +91,7 @@ func (a *MultiCastCore) NewNode(id int, source bool, r *rng.Source) protocol.Nod
 		n.status = protocol.Informed
 		n.knowsM = true
 	}
+	n.drawGap()
 	return n
 }
 
@@ -104,34 +105,43 @@ type coreNode struct {
 	noisy   int64 // Nn: noisy slots this iteration
 	slotIdx int64 // slot index within the current iteration
 
-	// pending caches the action NextActive pre-drew for its wake slot;
-	// Step returns it without touching the random stream again.
-	pending    protocol.Action
-	hasPending bool
+	// nextIdx is the iteration index of the node's next action slot,
+	// pre-drawn as one geometric gap; iterLen is the sentinel for "idle
+	// until the iteration boundary".
+	nextIdx int64
+}
+
+// drawGap draws the geometric gap to the node's next action slot. A slot
+// is an action slot with probability CoreP (listen) plus, for informed
+// nodes, CoreP again (broadcast), so the wait is Geometric in that rate:
+// one closed-form draw replaces the per-slot coins. The status cannot
+// change before the action slot (Deliver requires listening), so the rate
+// is a gap invariant. Gaps truncate at the iteration boundary — exact by
+// memorylessness — where the boundary bookkeeping redraws.
+func (nd *coreNode) drawGap() {
+	q := nd.alg.params.CoreP
+	if nd.status == protocol.Informed {
+		q *= 2
+	}
+	nd.nextIdx = nd.slotIdx + nd.r.GeometricCapped(q, nd.alg.iterLen-nd.slotIdx)
 }
 
 func (nd *coreNode) Status() protocol.Status { return nd.status }
 
 func (nd *coreNode) Informed() bool { return nd.knowsM }
 
-// Step draws the slot's action. The pseudocode draws the channel and the
-// coin independently and unconditionally; drawing the channel lazily (only
-// when the coin selects listen or broadcast) yields the same distribution.
+// Step returns the slot's action: Idle — without consuming randomness —
+// until the pre-drawn action slot, where the action kind (for informed
+// nodes, listen and broadcast are equally likely given that the node
+// acts) and the channel are drawn.
 func (nd *coreNode) Step(slot int64) protocol.Action {
-	if nd.hasPending {
-		nd.hasPending = false
-		return nd.pending
-	}
-	p := nd.alg.params.CoreP
-	u := nd.r.Float64()
-	switch {
-	case u < p:
-		return protocol.Action{Kind: protocol.Listen, Channel: nd.r.Intn(nd.alg.channels)}
-	case u < 2*p && nd.status == protocol.Informed:
-		return protocol.Action{Kind: protocol.Broadcast, Channel: nd.r.Intn(nd.alg.channels), Payload: radio.MsgM}
-	default:
+	if nd.slotIdx != nd.nextIdx || nd.status == protocol.Halted {
 		return protocol.Action{Kind: protocol.Idle}
 	}
+	if nd.status == protocol.Informed && nd.r.Bernoulli(0.5) {
+		return protocol.Action{Kind: protocol.Broadcast, Channel: nd.r.Intn(nd.alg.channels), Payload: radio.MsgM}
+	}
+	return protocol.Action{Kind: protocol.Listen, Channel: nd.r.Intn(nd.alg.channels)}
 }
 
 func (nd *coreNode) Deliver(fb radio.Feedback) {
@@ -147,65 +157,51 @@ func (nd *coreNode) Deliver(fb radio.Feedback) {
 }
 
 func (nd *coreNode) EndSlot(slot int64) {
-	nd.slotIdx++
-	if nd.slotIdx < nd.alg.iterLen {
+	if nd.status == protocol.Halted {
 		return
 	}
-	// Iteration boundary: halt iff few noisy slots were observed.
-	if float64(nd.noisy) < nd.alg.haltMax {
-		nd.status = protocol.Halted
+	acted := nd.slotIdx == nd.nextIdx
+	nd.slotIdx++
+	if nd.slotIdx >= nd.alg.iterLen {
+		// Iteration boundary: halt iff few noisy slots were observed.
+		if float64(nd.noisy) < nd.alg.haltMax {
+			nd.status = protocol.Halted
+			return
+		}
+		nd.slotIdx = 0
+		nd.noisy = 0
+		nd.drawGap()
+		return
 	}
-	nd.slotIdx = 0
-	nd.noisy = 0
+	if acted {
+		nd.drawGap()
+	}
 }
 
-// NextActive implements protocol.Sleeper: replay the per-slot coin flips
-// in a tight loop, absorbing idle slots (including non-halting iteration
-// boundaries) until one selects an action or an iteration boundary would
-// halt. Draws match the dense per-slot path bit for bit. Status and noisy
-// are frozen while idle, so the broadcast eligibility and the boundary
-// halt decision are loop invariants; the mutable cursors live in locals
-// to keep the per-absorbed-slot cost close to the raw RNG draw.
+// NextActive implements protocol.Sleeper. The next action slot is already
+// pre-drawn, so fast-forwarding is pure cursor arithmetic: jump to the
+// action slot, or — when the rest of the iteration is idle — to the
+// boundary slot if it would halt (the engine must observe the
+// transition), or across the boundary with the same bookkeeping and gap
+// redraw the dense EndSlot performs. Status and noisy are frozen while
+// idle, so the halt decision is already determined; the loop runs at
+// most twice (a fresh iteration's noisy = 0 is always below haltMax).
 func (nd *coreNode) NextActive(now int64) int64 {
-	if nd.hasPending {
-		return now
-	}
-	var (
-		r         = nd.r
-		p         = nd.alg.params.CoreP
-		iterLen   = nd.alg.iterLen
-		informed  = nd.status == protocol.Informed
-		haltAtEnd = float64(nd.noisy) < nd.alg.haltMax
-		slotIdx   = nd.slotIdx
-	)
 	for {
-		u := r.Float64()
-		if u < p || (u < 2*p && informed) {
-			nd.slotIdx = slotIdx
-			if u < p {
-				nd.pending = protocol.Action{Kind: protocol.Listen, Channel: r.Intn(nd.alg.channels)}
-			} else {
-				nd.pending = protocol.Action{Kind: protocol.Broadcast, Channel: r.Intn(nd.alg.channels), Payload: radio.MsgM}
-			}
-			nd.hasPending = true
+		if nd.nextIdx < nd.alg.iterLen {
+			now += nd.nextIdx - nd.slotIdx
+			nd.slotIdx = nd.nextIdx
 			return now
 		}
-		// Idle slot. If its iteration boundary would halt, the engine
-		// must run the slot to observe the transition.
-		if slotIdx+1 >= iterLen {
-			if haltAtEnd {
-				nd.slotIdx = slotIdx
-				nd.pending = protocol.Action{Kind: protocol.Idle}
-				nd.hasPending = true
-				return now
-			}
-			// Non-halting boundary: the new iteration starts with
-			// noisy = 0, which is always below the halt threshold.
-			slotIdx = -1
-			nd.noisy = 0
-			haltAtEnd = true
+		if float64(nd.noisy) < nd.alg.haltMax {
+			now += nd.alg.iterLen - 1 - nd.slotIdx
+			nd.slotIdx = nd.alg.iterLen - 1
+			return now
 		}
-		slotIdx++
-		now++
+		// Absorb the non-halting boundary, exactly as EndSlot would.
+		now += nd.alg.iterLen - nd.slotIdx
+		nd.slotIdx = 0
+		nd.noisy = 0
+		nd.drawGap()
 	}
 }

@@ -87,6 +87,7 @@ func TestMultiCastCoreActionDistribution(t *testing.T) {
 	src := alg.NewNode(0, true, rng.New(7))
 	un := alg.NewNode(1, false, rng.New(8))
 	const slots = 100_000
+	noise := radio.Feedback{Status: radio.Noise}
 	var srcListen, srcBcast, unListen, unBcast int
 	for s := int64(0); s < slots; s++ {
 		switch a := src.Step(s); a.Kind {
@@ -104,6 +105,12 @@ func TestMultiCastCoreActionDistribution(t *testing.T) {
 		case protocol.Broadcast:
 			unBcast++
 		}
+		// Advance the slot cycle; noise keeps the nodes from halting at
+		// iteration boundaries without changing action statistics.
+		src.Deliver(noise)
+		src.EndSlot(s)
+		un.Deliver(noise)
+		un.EndSlot(s)
 	}
 	tol := 0.02
 	if got := float64(srcListen) / slots; math.Abs(got-p.CoreP) > tol {
@@ -120,9 +127,12 @@ func TestMultiCastCoreActionDistribution(t *testing.T) {
 func TestMultiCastCoreChannelsUniform(t *testing.T) {
 	alg, _ := NewMultiCastCore(Sim(), 64, 0)
 	nd := alg.NewNode(1, true, rng.New(3))
+	noise := radio.Feedback{Status: radio.Noise}
 	seen := map[int]bool{}
 	for s := int64(0); s < 50_000; s++ {
 		a := nd.Step(s)
+		nd.Deliver(noise) // keep the node active across iterations
+		nd.EndSlot(s)
 		if a.Kind == protocol.Idle {
 			continue
 		}

@@ -34,7 +34,7 @@ type RunConfig struct {
 
 // Result is a rendered experiment outcome.
 type Result struct {
-	// ID is the experiment identifier (E1…E12).
+	// ID is the experiment identifier (E1…E14).
 	ID string
 	// Title is a one-line description.
 	Title string
@@ -60,21 +60,42 @@ type Experiment struct {
 var registry []Experiment
 
 func register(e Experiment) {
+	if _, ok := idOrder(e.ID); !ok {
+		panic(fmt.Sprintf("experiments: malformed experiment ID %q (want E<number>)", e.ID))
+	}
 	registry = append(registry, e)
 }
 
 // All returns every experiment in ID order.
 func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
-	sort.Slice(out, func(i, j int) bool { return idOrder(out[i].ID) < idOrder(out[j].ID) })
+	sort.Slice(out, func(i, j int) bool {
+		// register rejected malformed IDs, so the keys always exist.
+		a, _ := idOrder(out[i].ID)
+		b, _ := idOrder(out[j].ID)
+		return a < b
+	})
 	return out
 }
 
-// idOrder maps "E10" → 10 for sorting.
-func idOrder(id string) int {
-	var n int
-	fmt.Sscanf(id, "E%d", &n)
-	return n
+// idOrder maps "E10" → 10 for sorting. IDs that do not match the
+// E<number> scheme (with a positive number) are rejected with ok =
+// false rather than silently sorting first as 0, so registration can
+// refuse them outright.
+func idOrder(id string) (n int, ok bool) {
+	if len(id) < 2 || len(id) > 8 || (id[0] != 'E' && id[0] != 'e') {
+		return 0, false
+	}
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // Get returns the experiment with the given ID (case-insensitive).

@@ -12,13 +12,37 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	for i, e := range all {
 		want := i + 1
-		if idOrder(e.ID) != want {
+		n, ok := idOrder(e.ID)
+		if !ok || n != want {
 			t.Errorf("position %d holds %s, want E%d (sorted order)", i, e.ID, want)
 		}
 		if e.Title == "" || e.Claim == "" || e.Run == nil {
 			t.Errorf("%s is missing metadata or a Run function", e.ID)
 		}
 	}
+}
+
+func TestIDOrderRejectsMalformed(t *testing.T) {
+	for _, id := range []string{"", "E", "X3", "E-1", "E1a", "3", "E0", "Experiment", "E123456789"} {
+		if n, ok := idOrder(id); ok {
+			t.Errorf("idOrder(%q) accepted malformed ID as %d", id, n)
+		}
+	}
+	for id, want := range map[string]int{"E1": 1, "e7": 7, "E14": 14, "E102": 102} {
+		n, ok := idOrder(id)
+		if !ok || n != want {
+			t.Errorf("idOrder(%q) = (%d, %v), want (%d, true)", id, n, ok, want)
+		}
+	}
+}
+
+func TestRegisterRejectsMalformedID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("register accepted a malformed experiment ID")
+		}
+	}()
+	register(Experiment{ID: "bogus", Title: "t", Claim: "c"})
 }
 
 func TestGet(t *testing.T) {

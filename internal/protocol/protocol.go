@@ -103,12 +103,21 @@ type Node interface {
 // Sleeper is an optional Node extension that enables the engine's sparse
 // fast path. NextActive returns the next slot ≥ now at which the node
 // needs to be stepped — the next slot where Step would return a non-Idle
-// action, or where EndSlot's bookkeeping could change Status(). For every
-// intervening slot the node must fast-forward its own per-slot state
-// (counters, iteration boundaries, …) inside NextActive, making exactly
-// the random draws the dense per-slot path would have made, in the same
-// order, so that a sparse execution consumes each node's private random
-// stream identically to a dense one.
+// action, or where EndSlot's bookkeeping could change Status().
+//
+// Randomness discipline (gap draws): the protocols are memoryless inside
+// a step window — each slot is an i.i.d. Bernoulli(q) choice to act — so
+// implementations pre-draw the *gap* to their next action as one
+// closed-form geometric sample (rng.Source.Geometric) instead of flipping
+// one coin per slot. A gap that would cross a window/iteration boundary
+// is truncated there and redrawn under the new window's rate after the
+// boundary's bookkeeping, which is distribution-exact by memorylessness.
+// Idle slots therefore consume no randomness at all: Step returns Idle
+// without touching the stream, and a node's private stream advances only
+// at gap-draw points (node creation, after an action's EndSlot, and at
+// absorbed boundaries) and at action slots (action kind and channel).
+// Both engines run this same node code, so dense and sparse executions
+// consume each node's stream identically by construction.
 //
 // Contract:
 //
@@ -118,8 +127,9 @@ type Node interface {
 //   - The returned slot s satisfies s ≥ now. The engine will then call
 //     Step(s), possibly Deliver, and EndSlot(s) as usual; the node must
 //     behave at s exactly as if it had been stepped through (now, s)
-//     slot by slot. Random draws made while fast-forwarding (e.g. the
-//     per-slot activity coin) must not be repeated by Step(s).
+//     slot by slot — in particular, boundary bookkeeping (and its gap
+//     redraws) for absorbed boundaries happens inside NextActive, in the
+//     same stream order the dense per-slot path produces via EndSlot.
 //   - Status() must remain constant and accurate throughout the sleep:
 //     any slot whose end-of-slot bookkeeping would change the status
 //     (halting at an iteration boundary, helper transitions, …) must be

@@ -9,7 +9,10 @@
 // values per node per slot) and for well-studied statistical quality.
 package rng
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // SplitMix64 is the seeding generator recommended by the xoshiro authors.
 // It is used to expand a single trial seed into independent per-node seeds.
@@ -120,6 +123,48 @@ func (r *Source) Bernoulli(p float64) bool {
 		return true
 	}
 	return r.Float64() < p
+}
+
+// MaxGap is the ceiling on Geometric results. It is far beyond any slot
+// count the simulator can reach (the engine's MaxSlots valve is ~2²⁷), so
+// the clamp only protects downstream slot arithmetic from overflowing.
+const MaxGap = int64(1) << 62
+
+// Geometric returns the number of consecutive failures before the first
+// success in a sequence of independent Bernoulli(p) trials — the pmf
+// P(G = k) = (1−p)ᵏ·p on k = 0, 1, 2, … — drawn in closed form by
+// inverting the CDF: G = ⌊ln U / ln(1−p)⌋ for one uniform U ∈ (0, 1].
+// A single uniform replaces the E[G] = (1−p)/p draws of a per-trial
+// Bernoulli loop, which is what makes per-gap skip-sampling cheaper than
+// per-slot coins. Like Bernoulli, the degenerate edges consume no draw:
+// p ≥ 1 returns 0 (success is immediate) and p ≤ 0 returns MaxGap
+// (success never comes). Results clamp to MaxGap.
+func (r *Source) Geometric(p float64) int64 {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return MaxGap
+	}
+	// 1 − Float64() lies in (0, 1], keeping the logarithm finite;
+	// log1p(-p) is the accurate form of ln(1−p) for small p.
+	g := math.Log(1-r.Float64()) / math.Log1p(-p)
+	if g >= float64(MaxGap) {
+		return MaxGap
+	}
+	return int64(g)
+}
+
+// GeometricCapped returns min(Geometric(p), limit). The capped draw is
+// how the slot engines truncate a gap at a window boundary: the result
+// equals limit with probability P(G ≥ limit) = (1−p)^limit — exactly the
+// probability that no action occurs in the limit remaining slots — so
+// "gap == limit" doubles as the no-action-before-the-boundary sentinel.
+func (r *Source) GeometricCapped(p float64, limit int64) int64 {
+	if g := r.Geometric(p); g < limit {
+		return g
+	}
+	return limit
 }
 
 // Coin returns a uniform value in [1, sides], mirroring the pseudocode's

@@ -8,8 +8,12 @@
 // reference loop steps every non-halted node every slot, while the sparse
 // fast path (sparse.go) uses the protocol.Sleeper contract to skip slots
 // in which no node acts, charging Eve for skipped jamming in aggregate.
-// Both produce bit-identical Metrics; the dense loop is retained as the
-// equivalence oracle.
+// Node randomness follows the gap-draw discipline (see protocol.Sleeper):
+// each node pre-draws the geometric gap to its next action, so idle slots
+// consume no RNG in either engine — the dense loop makes the identical
+// gap draws through the shared node code, which is what keeps the two
+// engines bit-identical by construction. Both produce bit-identical
+// Metrics; the dense loop is retained as the equivalence oracle.
 //
 // One goroutine drives one execution; statistical replication is done by
 // RunTrials, which fans independent seeds out over a worker pool. The

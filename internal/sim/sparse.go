@@ -1,9 +1,10 @@
 // Sparse slot engine: the paper's schedules leave most nodes idle in most
 // slots, so stepping every node every slot (the dense loop) wastes almost
-// all of its work. Nodes that implement protocol.Sleeper pre-compute their
-// next non-idle slot — making exactly the random draws the dense per-slot
-// path would have made — and the engine keeps them in a wake list: a
-// bucket ring over the next 64 slots with a min-heap overflow tier.
+// all of its work. Nodes that implement protocol.Sleeper pre-draw their
+// next non-idle slot as one closed-form geometric gap — idle slots
+// consume no randomness at all, in either engine — and the engine keeps
+// them in a wake list: a bucket ring over the next 64 slots with a
+// min-heap overflow tier.
 // A slot executes only the nodes waking in it; slot ranges in which no node
 // wakes are skipped in bulk, with Eve's jamming charged in aggregate via
 // adversary.RangeSpender (jam sets in unobserved slots only matter through

@@ -175,13 +175,15 @@ type node struct {
 	epoch   int
 	length  int64
 	lp, bp  float64 // lᵢ and bᵢ
+	lfrac   float64 // P(listen | act) = lᵢ/(lᵢ+bᵢ) for informed nodes
 	haltMax float64
 	noisy   int64
 	slotIdx int64
 
-	// pending caches the action NextActive pre-drew for its wake slot.
-	pending    protocol.Action
-	hasPending bool
+	// nextIdx is the epoch index of the node's next action slot,
+	// pre-drawn as one geometric gap; length is the sentinel for "idle
+	// until the epoch boundary".
+	nextIdx int64
 }
 
 func (nd *node) startEpoch(i int) {
@@ -189,9 +191,24 @@ func (nd *node) startEpoch(i int) {
 	nd.length = nd.alg.EpochLength(i)
 	nd.lp = nd.alg.ListenProb(i)
 	nd.bp = nd.alg.BroadcastProb(i)
+	nd.lfrac = nd.lp / (nd.lp + nd.bp)
 	nd.haltMax = nd.alg.params.HaltNoise * nd.lp * float64(nd.length)
 	nd.noisy = 0
 	nd.slotIdx = 0
+	nd.drawGap()
+}
+
+// drawGap draws the geometric gap to the node's next action slot at the
+// epoch's rate — lᵢ to listen, plus bᵢ to broadcast when informed. The
+// status cannot change before the action slot (Deliver requires
+// listening), so the rate is a gap invariant; gaps truncate at the epoch
+// boundary, where startEpoch redraws under the next epoch's rates.
+func (nd *node) drawGap() {
+	q := nd.lp
+	if nd.status == protocol.Informed {
+		q += nd.bp
+	}
+	nd.nextIdx = nd.slotIdx + nd.r.GeometricCapped(q, nd.length-nd.slotIdx)
 }
 
 func (nd *node) Status() protocol.Status { return nd.status }
@@ -201,20 +218,16 @@ func (nd *node) Informed() bool { return nd.knowsM }
 // Epoch returns the node's current epoch index (test hook).
 func (nd *node) Epoch() int { return nd.epoch }
 
+// Step returns Idle without consuming randomness until the pre-drawn
+// action slot, where informed nodes split listen/broadcast as lᵢ : bᵢ.
 func (nd *node) Step(slot int64) protocol.Action {
-	if nd.hasPending {
-		nd.hasPending = false
-		return nd.pending
-	}
-	u := nd.r.Float64()
-	switch {
-	case u < nd.lp:
-		return protocol.Action{Kind: protocol.Listen, Channel: 0}
-	case u < nd.lp+nd.bp && nd.status == protocol.Informed:
-		return protocol.Action{Kind: protocol.Broadcast, Channel: 0, Payload: radio.MsgM}
-	default:
+	if nd.slotIdx != nd.nextIdx || nd.status == protocol.Halted {
 		return protocol.Action{Kind: protocol.Idle}
 	}
+	if nd.status == protocol.Informed && !nd.r.Bernoulli(nd.lfrac) {
+		return protocol.Action{Kind: protocol.Broadcast, Channel: 0, Payload: radio.MsgM}
+	}
+	return protocol.Action{Kind: protocol.Listen, Channel: 0}
 }
 
 func (nd *node) Deliver(fb radio.Feedback) {
@@ -230,63 +243,45 @@ func (nd *node) Deliver(fb radio.Feedback) {
 }
 
 func (nd *node) EndSlot(slot int64) {
+	if nd.status == protocol.Halted {
+		return
+	}
+	acted := nd.slotIdx == nd.nextIdx
 	nd.slotIdx++
-	if nd.slotIdx < nd.length {
+	if nd.slotIdx >= nd.length {
+		// Halt requires low noise (jamming has stopped) AND possession of
+		// m (a broadcast node terminates by delivering the message).
+		if nd.status == protocol.Informed && float64(nd.noisy) < nd.haltMax {
+			nd.status = protocol.Halted
+			return
+		}
+		nd.startEpoch(nd.epoch + 1)
 		return
 	}
-	// Halt requires low noise (jamming has stopped) AND possession of m
-	// (a broadcast node terminates by delivering the message).
-	if nd.status == protocol.Informed && float64(nd.noisy) < nd.haltMax {
-		nd.status = protocol.Halted
-		return
+	if acted {
+		nd.drawGap()
 	}
-	nd.startEpoch(nd.epoch + 1)
 }
 
-// NextActive implements protocol.Sleeper: replay the per-slot coins,
-// absorbing idle slots and non-halting epoch boundaries. Only an informed
-// node with a frozen noisy counter below the threshold can halt at a
-// boundary, so the outcome of every absorbed boundary is already decided;
-// the hoisted loop state is reloaded after each epoch boundary.
+// NextActive implements protocol.Sleeper; see the multi-channel nodes.
+// The next action slot is pre-drawn, so fast-forwarding is cursor
+// arithmetic: jump to it, wake at the epoch's final slot when its
+// boundary would halt (only an informed node below the frozen noise
+// threshold can), and otherwise absorb the boundary with the same
+// bookkeeping — including the gap redraw — as EndSlot.
 func (nd *node) NextActive(now int64) int64 {
-	if nd.hasPending {
-		return now
-	}
-	r := nd.r
-	informed := nd.status == protocol.Informed
 	for {
-		var (
-			lp        = nd.lp
-			act       = nd.lp + nd.bp
-			length    = nd.length
-			haltAtEnd = informed && float64(nd.noisy) < nd.haltMax
-			slotIdx   = nd.slotIdx
-		)
-		for {
-			u := r.Float64()
-			if u < lp || (u < act && informed) {
-				nd.slotIdx = slotIdx
-				if u < lp {
-					nd.pending = protocol.Action{Kind: protocol.Listen, Channel: 0}
-				} else {
-					nd.pending = protocol.Action{Kind: protocol.Broadcast, Channel: 0, Payload: radio.MsgM}
-				}
-				nd.hasPending = true
-				return now
-			}
-			if slotIdx+1 >= length {
-				if haltAtEnd {
-					nd.slotIdx = slotIdx
-					nd.pending = protocol.Action{Kind: protocol.Idle}
-					nd.hasPending = true
-					return now
-				}
-				nd.startEpoch(nd.epoch + 1)
-				now++
-				break // lᵢ, bᵢ, Lᵢ, haltMax changed: reload the loop state
-			}
-			slotIdx++
-			now++
+		if nd.nextIdx < nd.length {
+			now += nd.nextIdx - nd.slotIdx
+			nd.slotIdx = nd.nextIdx
+			return now
 		}
+		if nd.status == protocol.Informed && float64(nd.noisy) < nd.haltMax {
+			now += nd.length - 1 - nd.slotIdx
+			nd.slotIdx = nd.length - 1
+			return now
+		}
+		now += nd.length - nd.slotIdx
+		nd.startEpoch(nd.epoch + 1)
 	}
 }
