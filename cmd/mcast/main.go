@@ -1,4 +1,5 @@
-// Command mcast runs one broadcast execution and prints a run report.
+// Command mcast runs one broadcast execution and prints a run report —
+// or a whole statistical campaign, optionally sharded across machines.
 //
 // Usage:
 //
@@ -6,17 +7,33 @@
 //	mcast -alg multicastadv -n 64 -trials 5
 //	mcast -alg multicast-c -n 256 -channels 8 -adv fraction -frac 0.9 -budget 50000 -trace
 //
+// Sharded campaigns: shard i of k runs the trials t ≡ i (mod k) of the
+// same seeded batch, writes its mergeable summary, and any machine
+// merges the artifacts into exactly the summary the unsharded run
+// produces (seeds derive from the trial index alone):
+//
+//	mcast -alg multicast -n 256 -trials 100000 -shard 0/3 -summary-out s0.json   # machine 0
+//	mcast -alg multicast -n 256 -trials 100000 -shard 1/3 -summary-out s1.json   # machine 1
+//	mcast -alg multicast -n 256 -trials 100000 -shard 2/3 -summary-out s2.json   # machine 2
+//	mcast -merge s0.json s1.json s2.json
+//
 // Adversaries: none, burst, fraction, random, sweep, pulse, bursty,
 // targeted (phase-targeted, for MultiCastAdv), and the adaptive pair
 // reactive and camper (the §8 extension).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"multicast"
+	"multicast/internal/runner"
+	"multicast/internal/stats"
 )
 
 func main() {
@@ -40,8 +57,17 @@ func main() {
 		curve    = flag.Bool("curve", false, "print sparkline charts of the run (informed/halted/jammed/traffic)")
 		alpha    = flag.Float64("alpha", 0, "override MultiCastAdv α (0 = preset)")
 		engName  = flag.String("engine", "auto", "slot-loop engine: auto|dense|sparse (identical results; dense is the reference loop)")
+		shardStr = flag.String("shard", "", "run shard i/k of the trial batch (e.g. 0/3); implies summary output")
+		sumOut   = flag.String("summary-out", "", "write the mergeable summary JSON to this path")
+		merge    = flag.Bool("merge", false, "merge the shard summary files given as arguments and print the combined summary")
+		workers  = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
 	)
 	flag.Parse()
+
+	if *merge {
+		fatal(mergeSummaries(flag.Args(), *sumOut))
+		return
+	}
 
 	alg, err := multicast.ParseAlgorithm(*algName)
 	fatal(err)
@@ -108,8 +134,44 @@ func main() {
 		cfg.Observer = rec
 	}
 
+	shard, err := parseShard(*shardStr)
+	fatal(err)
+
 	fmt.Printf("algorithm=%s n=%d channels=%d adversary=%s budget=%d seed=%d trials=%d\n\n",
 		alg, *n, *channels, adv.Name(), *budget, *seed, *trials)
+
+	if *shardStr != "" || *sumOut != "" {
+		// Campaign mode: stream trials into a mergeable collector, print
+		// the summary, and (optionally) write the shard artifact.
+		cfg.Observer = nil
+		col := runner.NewCollector()
+		err := multicast.RunTrialsContext(context.Background(), cfg,
+			multicast.TrialPlan{Trials: *trials, Shard: shard, Workers: *workers},
+			func(t int, m multicast.Metrics) error { return col.Add(t, m) })
+		fatal(err)
+		if shard.Count > 1 {
+			fmt.Printf("shard %d/%d: %d of %d trials\n\n", shard.Index, shard.Count, col.Trials(), *trials)
+		}
+		printSummaries(col)
+		if *sumOut != "" {
+			fatal(writeSummary(*sumOut, summaryFile{
+				Algorithm:  string(alg),
+				N:          *n,
+				Channels:   *channels,
+				Adversary:  adv.Name(),
+				Budget:     *budget,
+				Alpha:      *alpha,
+				MaxSlots:   *maxSlots,
+				Seed:       *seed,
+				Trials:     *trials,
+				ShardIndex: shard.Index,
+				ShardCount: max(shard.Count, 1),
+				Collector:  col,
+			}))
+			fmt.Printf("summary written to %s\n", *sumOut)
+		}
+		return
+	}
 
 	if *trials == 1 {
 		m, err := multicast.Run(cfg)
@@ -121,11 +183,162 @@ func main() {
 		return
 	}
 	cfg.Observer = nil
-	ms, err := multicast.RunTrials(cfg, *trials)
+	// Trials stream out in seed order; nothing is buffered.
+	err = multicast.RunTrialsContext(context.Background(), cfg,
+		multicast.TrialPlan{Trials: *trials, Workers: *workers},
+		func(t int, m multicast.Metrics) error {
+			fmt.Printf("--- trial %d (seed %d) ---\n", t, *seed+uint64(t))
+			report(m)
+			return nil
+		})
 	fatal(err)
-	for i, m := range ms {
-		fmt.Printf("--- trial %d (seed %d) ---\n", i, *seed+uint64(i))
-		report(m)
+}
+
+// parseShard resolves "i/k" (empty = unsharded). The whole string must
+// parse: trailing garbage would silently run the wrong shard slice.
+func parseShard(s string) (multicast.Shard, error) {
+	if s == "" {
+		return multicast.Shard{}, nil
+	}
+	var sh multicast.Shard
+	is, ks, ok := strings.Cut(s, "/")
+	malformed := fmt.Errorf("malformed -shard %q (want i/k, e.g. 0/3)", s)
+	if !ok {
+		return sh, malformed
+	}
+	var err error
+	if sh.Index, err = strconv.Atoi(is); err != nil {
+		return sh, malformed
+	}
+	if sh.Count, err = strconv.Atoi(ks); err != nil {
+		return sh, malformed
+	}
+	if sh.Count < 1 || sh.Index < 0 || sh.Index >= sh.Count {
+		return sh, fmt.Errorf("shard %d/%d out of range", sh.Index, sh.Count)
+	}
+	return sh, nil
+}
+
+// summaryFile is the mergeable shard artifact written by -summary-out.
+// Scenario fields echo the flags so -merge can refuse to combine
+// summaries of different campaigns.
+type summaryFile struct {
+	Tool       string            `json:"tool"`
+	Algorithm  string            `json:"algorithm"`
+	N          int               `json:"n"`
+	Channels   int               `json:"channels,omitempty"`
+	Adversary  string            `json:"adversary"`
+	Budget     int64             `json:"budget"`
+	Alpha      float64           `json:"alpha,omitempty"`
+	MaxSlots   int64             `json:"max_slots,omitempty"`
+	Seed       uint64            `json:"seed"`
+	Trials     int               `json:"trials"`
+	ShardIndex int               `json:"shard_index"`
+	ShardCount int               `json:"shard_count"`
+	Collector  *runner.Collector `json:"collector"`
+}
+
+// scenario is the campaign identity two files must share to merge. It
+// covers every flag that changes trial outcomes (adversary names embed
+// their own parameters); shard/workers/engine deliberately excluded —
+// they must not change results.
+func (f summaryFile) scenario() string {
+	return fmt.Sprintf("%s n=%d channels=%d adv=%s budget=%d alpha=%v max-slots=%d seed=%d trials=%d",
+		f.Algorithm, f.N, f.Channels, f.Adversary, f.Budget, f.Alpha, f.MaxSlots, f.Seed, f.Trials)
+}
+
+func writeSummary(path string, f summaryFile) error {
+	f.Tool = "mcast"
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// mergeSummaries combines shard artifacts into the full-batch summary.
+// The union must cover the campaign's whole trial batch, so a dropped
+// shard file is an error, not a silently thinner sample.
+func mergeSummaries(paths []string, out string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge needs at least one summary file argument")
+	}
+	var first summaryFile
+	merged := runner.NewCollector()
+	seen := make(map[int]string, len(paths))
+	for i, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var f summaryFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if f.Collector == nil {
+			return fmt.Errorf("%s: no collector payload", path)
+		}
+		if f.ShardCount < 1 || f.ShardIndex < 0 || f.ShardIndex >= f.ShardCount {
+			return fmt.Errorf("%s: invalid shard %d/%d", path, f.ShardIndex, f.ShardCount)
+		}
+		if i == 0 {
+			first = f
+		} else if f.scenario() != first.scenario() {
+			return fmt.Errorf("%s is from a different campaign:\n  %s\nvs %s:\n  %s",
+				path, f.scenario(), paths[0], first.scenario())
+		}
+		// Exact-coverage bookkeeping: the files must be the k distinct
+		// shards of one k-way split (trial counts alone can balance out
+		// even when a shard is merged twice and another dropped).
+		if f.ShardCount != first.ShardCount {
+			return fmt.Errorf("%s is shard %d/%d but %s is of a %d-way split",
+				path, f.ShardIndex, f.ShardCount, paths[0], first.ShardCount)
+		}
+		if prev, dup := seen[f.ShardIndex]; dup {
+			return fmt.Errorf("%s duplicates shard %d/%d already merged from %s",
+				path, f.ShardIndex, f.ShardCount, prev)
+		}
+		seen[f.ShardIndex] = path
+		merged.Merge(f.Collector)
+	}
+	if len(seen) != first.ShardCount {
+		return fmt.Errorf("got %d of %d shards — missing shard files", len(seen), first.ShardCount)
+	}
+	if merged.Trials() != int64(first.Trials) {
+		return fmt.Errorf("merged shards cover %d of %d trials — corrupt shard files",
+			merged.Trials(), first.Trials)
+	}
+	fmt.Printf("merged %d shard file(s): %s\n\n", len(paths), first.scenario())
+	printSummaries(merged)
+	if out != "" {
+		first.ShardIndex, first.ShardCount = 0, 1
+		first.Collector = merged
+		if err := writeSummary(out, first); err != nil {
+			return err
+		}
+		fmt.Printf("merged summary written to %s\n", out)
+	}
+	return nil
+}
+
+// printSummaries renders every headline metric at full float precision
+// (%v round-trips float64 exactly), so byte-equal output means
+// bit-identical summaries — the shard→merge CI smoke diffs this text.
+func printSummaries(col *runner.Collector) {
+	line := func(name string, s stats.Summary) {
+		fmt.Printf("%-18s n=%d mean=%v std=%v min=%v p25=%v med=%v p75=%v p95=%v max=%v\n",
+			name, s.Count, s.Mean, s.Std, s.Min, s.P25, s.Median, s.P75, s.P95, s.Max)
+	}
+	line("slots", col.Slots())
+	line("max node energy", col.MaxEnergy())
+	line("source energy", col.SourceEnergy())
+	line("mean node energy", col.MeanEnergy())
+	line("eve energy", col.EveEnergy())
+	line("all informed", col.AllInformed())
+	if inv := col.Invariants(); inv.Any() {
+		fmt.Printf("!! invariant violations: %+v\n", inv)
+	} else {
+		fmt.Printf("safety invariants:  all hold (%d trials)\n", col.Trials())
 	}
 }
 

@@ -11,6 +11,8 @@
 //	mcbench -markdown         emit GitHub-flavoured markdown (for EXPERIMENTS.md)
 //	mcbench -bench-sim BENCH_sim.json           measure dense vs sparse engines
 //	mcbench -bench-sim out.json -quick          engine-benchmark smoke run (CI)
+//	mcbench -matrix                             engine matrix: algorithms × engines × densities
+//	mcbench -matrix -matrix-out matrix.json     …and write the rows as JSON
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
 		csv      = flag.Bool("csv", false, "emit CSV tables (no claims/notes)")
 		benchSim = flag.String("bench-sim", "", "measure dense vs sparse engine throughput and write the JSON report to this path (e.g. BENCH_sim.json), then exit")
+		matrix   = flag.Bool("matrix", false, "run the engine benchmark matrix (algorithms × engines × densities) and exit")
+		matOut   = flag.String("matrix-out", "", "with -matrix: also write the rows as JSON to this path")
 		engine   = flag.String("engine", "auto", "slot-loop engine for experiments: auto, dense, or sparse (results are identical; dense is the reference loop)")
 	)
 	flag.Parse()
@@ -46,6 +50,13 @@ func main() {
 	if *benchSim != "" {
 		if err := runEngineBench(*benchSim, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "mcbench: engine benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *matrix {
+		if err := runMatrix(*matOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: engine matrix failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"multicast"
+)
+
+// matrixWorkload is one row of the engine benchmark matrix: an algorithm
+// at a given schedule density. Density is what separates the engines —
+// the sparse wake-list engine wins exactly when few nodes act per slot —
+// so each algorithm appears at the densities that matter for it.
+type matrixWorkload struct {
+	name    string
+	density string // human label: mean fraction of nodes acting per slot
+	cfg     multicast.Config
+}
+
+// matrixWorkloads builds the benchmark rows. Workloads are fixed (like
+// benchScenario): comparable across PRs, jammed at half spectrum, n=128.
+func matrixWorkloads() []matrixWorkload {
+	const n = 128
+	base := multicast.Config{
+		N:         n,
+		Adversary: multicast.FractionJammer(0.5),
+		Budget:    100_000,
+	}
+	core := func(p, a float64) multicast.Config {
+		params := multicast.SimParams()
+		params.CoreP = p
+		params.CoreA = a
+		c := base
+		c.Algorithm = multicast.AlgoMultiCastCore
+		c.Params = params
+		return c
+	}
+	mc := base
+	mc.Algorithm = multicast.AlgoMultiCast
+	mcC := base
+	mcC.Algorithm = multicast.AlgoMultiCastC
+	mcC.Channels = 8
+	single := base
+	single.Algorithm = multicast.AlgoSingleChannel
+	single.Budget = 20_000 // one channel: T/C is the whole delay
+	return []matrixWorkload{
+		{"multicastcore", "p=1/8", core(1.0/8, 80)},
+		{"multicastcore", "p=1/64", core(1.0/64, 640)},
+		{"multicast", "schedule", mc},
+		{"multicast-c C=8", "schedule", mcC},
+		{"singlechannel", "schedule", single},
+	}
+}
+
+const (
+	matrixTrials      = 8
+	matrixTrialsQuick = 2
+)
+
+// matrixCell is one (workload, engine) measurement.
+type matrixCell struct {
+	Slots       int64   `json:"slots"`
+	Seconds     float64 `json:"seconds"`
+	SlotsPerSec float64 `json:"slots_per_sec"`
+}
+
+// matrixRow is one workload's measurements across engines.
+type matrixRow struct {
+	Algorithm string     `json:"algorithm"`
+	Density   string     `json:"density"`
+	Trials    int        `json:"trials"`
+	Dense     matrixCell `json:"dense"`
+	Sparse    matrixCell `json:"sparse"`
+	Speedup   float64    `json:"speedup"`
+}
+
+// runMatrixCell measures one workload on one engine. Trials run through
+// the trial runner with a single worker, so the measurement is serial
+// and comparable while exercising the production execution path.
+func runMatrixCell(cfg multicast.Config, engine multicast.Engine, trials int) (matrixCell, error) {
+	cfg.Engine = engine
+	cfg.Seed = 1
+	var cell matrixCell
+	start := time.Now()
+	err := multicast.RunTrialsContext(context.Background(), cfg,
+		multicast.TrialPlan{Trials: trials, Workers: 1},
+		func(_ int, m multicast.Metrics) error {
+			cell.Slots += m.Slots
+			return nil
+		})
+	if err != nil {
+		return cell, err
+	}
+	cell.Seconds = time.Since(start).Seconds()
+	cell.SlotsPerSec = float64(cell.Slots) / cell.Seconds
+	return cell, nil
+}
+
+// runMatrix prints the algorithms × engines × densities benchmark table
+// and optionally writes the rows as JSON.
+func runMatrix(outPath string, quick bool) error {
+	trials := matrixTrials
+	if quick {
+		trials = matrixTrialsQuick
+	}
+	rows := make([]matrixRow, 0, len(matrixWorkloads()))
+	for _, w := range matrixWorkloads() {
+		dense, err := runMatrixCell(w.cfg, multicast.EngineDense, trials)
+		if err != nil {
+			return fmt.Errorf("%s %s dense: %w", w.name, w.density, err)
+		}
+		sparse, err := runMatrixCell(w.cfg, multicast.EngineSparse, trials)
+		if err != nil {
+			return fmt.Errorf("%s %s sparse: %w", w.name, w.density, err)
+		}
+		// The matrix doubles as an engine-parity check on every workload.
+		if dense.Slots != sparse.Slots {
+			return fmt.Errorf("%s %s: engine divergence — dense %d slots, sparse %d",
+				w.name, w.density, dense.Slots, sparse.Slots)
+		}
+		rows = append(rows, matrixRow{
+			Algorithm: w.name, Density: w.density, Trials: trials,
+			Dense: dense, Sparse: sparse,
+			Speedup: sparse.SlotsPerSec / dense.SlotsPerSec,
+		})
+	}
+
+	fmt.Printf("engine benchmark matrix (n=128, 50%% spectrum jammed, %d trials/cell, serial)\n\n", trials)
+	fmt.Printf("%-16s  %-9s  %12s  %14s  %14s  %8s\n",
+		"algorithm", "density", "slots", "dense slots/s", "sparse slots/s", "speedup")
+	fmt.Println(strings.Repeat("-", 82))
+	for _, r := range rows {
+		fmt.Printf("%-16s  %-9s  %12d  %14.0f  %14.0f  %7.2fx\n",
+			r.Algorithm, r.Density, r.Dense.Slots, r.Dense.SlotsPerSec, r.Sparse.SlotsPerSec, r.Speedup)
+	}
+	fmt.Println("\nengines agreed on total slots for every workload (bit-identity holds)")
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(map[string]any{
+			"benchmark": "sim-engine-matrix",
+			"generated": time.Now().UTC().Format(time.RFC3339),
+			"rows":      rows,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("matrix written to %s\n", outPath)
+	}
+	return nil
+}

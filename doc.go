@@ -37,8 +37,9 @@
 //	// m.Slots, m.MaxNodeEnergy, m.EveEnergy, m.Invariants …
 //
 // Executions are deterministic given (Config, Seed); RunTrials fans seeds
-// out over all CPUs. See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
+// out over all CPUs, and RunTrialsContext streams metrics (optionally one
+// shard of a multi-machine batch) without buffering. See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for paper-vs-measured results.
 //
 // # Engine selection
 //
@@ -71,5 +72,22 @@
 // and seed; the equivalence matrix and fuzz tests in internal/sim enforce
 // this, and `mcbench -bench-sim BENCH_sim.json` tracks the speedup
 // (≥ 2× on the low-density MultiCastCore scenario; ~5× after the
-// gap-draw refactor).
+// gap-draw refactor). `mcbench -matrix` measures the whole
+// algorithms × engines × densities grid.
+//
+// # Trial-layer determinism
+//
+// Statistical replication has its own bit-identity contract, layered on
+// the engines': trial t of a batch always runs with seed Config.Seed+t,
+// derived purely from the trial index — never from worker identity,
+// scheduling, or shard layout — and streamed sinks receive metrics in
+// ascending trial order. Shard i of k (TrialPlan.Shard) runs exactly the
+// trials t ≡ i (mod k), so the union of any shard partition is the same
+// multiset of executions as the unsharded batch, and shard summaries
+// merged from their JSON artifacts (cmd/mcast -summary-out / -merge)
+// are bit-identical to the single-machine summary while the batch fits
+// the summary accumulators' sample cap (a documented approximation
+// beyond it). The first error in trial order aborts a batch: queued
+// trials never start and in-flight executions are interrupted, as they
+// are on context cancellation.
 package multicast

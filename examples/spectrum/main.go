@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,32 +25,33 @@ func main() {
 	fmt.Printf("MultiCast(C) on %d nodes, full-burst jammer with T = %d\n\n", n, budget)
 	fmt.Printf("%9s  %12s  %10s  %14s\n", "channels", "slots", "T/C", "max node cost")
 
-	var baseSlots float64
+	// The streaming trial API: metrics arrive in seed order as each trial
+	// completes, so nothing is buffered no matter how many trials run —
+	// the idiomatic shape for statistical campaigns. (Add a TrialPlan
+	// Shard to split the same seeded batch across machines.)
+	ctx := context.Background()
 	for _, c := range []int{2, 4, 16, 64, 128} {
-		ms, err := multicast.RunTrials(multicast.Config{
+		var slots, cost float64
+		err := multicast.RunTrialsContext(ctx, multicast.Config{
 			N:         n,
 			Algorithm: multicast.AlgoMultiCastC,
 			Channels:  c,
 			Adversary: multicast.FullBurstJammer(0),
 			Budget:    budget,
 			Seed:      7,
-		}, trials)
+		}, multicast.TrialPlan{Trials: trials}, func(_ int, m multicast.Metrics) error {
+			if m.Invariants.Any() {
+				return fmt.Errorf("C=%d: invariant violation %+v", c, m.Invariants)
+			}
+			slots += float64(m.Slots)
+			cost += float64(m.MaxNodeEnergy)
+			return nil
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		var slots, cost float64
-		for _, m := range ms {
-			slots += float64(m.Slots)
-			cost += float64(m.MaxNodeEnergy)
-			if m.Invariants.Any() {
-				log.Fatalf("C=%d: invariant violation %+v", c, m.Invariants)
-			}
-		}
 		slots /= trials
 		cost /= trials
-		if baseSlots == 0 {
-			baseSlots = slots
-		}
 		fmt.Printf("%9d  %12.0f  %10d  %14.0f\n", c, slots, budget/int64(c), cost)
 	}
 

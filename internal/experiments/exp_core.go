@@ -65,7 +65,7 @@ func runE1(cfg RunConfig) (Result, error) {
 	for fi, f := range fracs {
 		frac := f
 		success := 0
-		var informedSlots []float64
+		informedSlots := stats.NewAccumulator()
 		for t := 0; t < trials; t++ {
 			m, err := sim.Run(sim.Config{
 				N: n,
@@ -87,12 +87,12 @@ func runE1(cfg RunConfig) (Result, error) {
 				success++
 			}
 			if m.AllInformedSlot > 0 {
-				informedSlots = append(informedSlots, float64(m.AllInformedSlot))
+				informedSlots.AddInt64(m.AllInformedSlot)
 			}
 		}
 		mean := "never"
-		if len(informedSlots) > 0 {
-			mean = fmtInt(stats.Summarize(informedSlots).Mean)
+		if informedSlots.Count() > 0 {
+			mean = fmtInt(informedSlots.Summary().Mean)
 		}
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprintf("%.2f", frac),

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"multicast/internal/core"
 	"multicast/internal/predict"
 	"multicast/internal/protocol"
+	"multicast/internal/runner"
 	"multicast/internal/sim"
 )
 
@@ -52,21 +54,23 @@ func runE14(cfg RunConfig) (Result, error) {
 		Columns: []string{"algorithm", "predicted jˆ", "jˆ histogram (j:count)", "wrong-phase helpers", "helper epoch (predicted)"},
 	}
 	for vi, v := range variants {
-		ms, err := sim.RunTrials(sim.Config{
+		// The jˆ histogram folds in per trial as metrics stream out of the
+		// runner; no per-trial buffering.
+		var hist [sim.MaxHelperJBucket + 1]int64
+		err := runner.Run(context.Background(), sim.Config{
 			N:         n,
 			Algorithm: v.build,
 			Seed:      cfg.Seed + uint64(vi)*547,
 			MaxSlots:  1 << 27,
 			Engine:    cfg.Engine,
-		}, trials)
-		if err != nil {
-			return Result{}, err
-		}
-		var hist [sim.MaxHelperJBucket + 1]int64
-		for _, m := range ms {
+		}, runner.Plan{Trials: trials}, func(_ int, m sim.Metrics) error {
 			for j, c := range m.HelperJCounts {
 				hist[j] += int64(c)
 			}
+			return nil
+		})
+		if err != nil {
+			return Result{}, err
 		}
 		var parts []string
 		wrong := int64(0)

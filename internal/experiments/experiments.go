@@ -8,10 +8,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"multicast/internal/runner"
 	"multicast/internal/sim"
 	"multicast/internal/stats"
 )
@@ -118,30 +120,22 @@ type point struct {
 }
 
 // measure runs trials of sc under rc's engine choice and aggregates the
-// headline metrics.
+// headline metrics. Trials stream straight into mergeable accumulators
+// (O(1) memory in the trial count): no per-trial metric slices exist on
+// this path anymore.
 func (rc RunConfig) measure(sc sim.Config, trials int) (point, error) {
 	sc.Engine = rc.Engine
-	ms, err := sim.RunTrials(sc, trials)
-	if err != nil {
+	col := runner.NewCollector()
+	if err := runner.Run(context.Background(), sc, runner.Plan{Trials: trials}, col.Add); err != nil {
 		return point{}, err
 	}
-	var p point
-	slots := make([]int64, len(ms))
-	maxE := make([]int64, len(ms))
-	eveE := make([]int64, len(ms))
-	informed := make([]int64, len(ms))
-	for i, m := range ms {
-		slots[i] = m.Slots
-		maxE[i] = m.MaxNodeEnergy
-		eveE[i] = m.EveEnergy
-		informed[i] = m.AllInformedSlot
-		p.Invariants.Add(m.Invariants)
-	}
-	p.Slots = stats.SummarizeInts(slots)
-	p.MaxEnergy = stats.SummarizeInts(maxE)
-	p.EveEnergy = stats.SummarizeInts(eveE)
-	p.AllInformed = stats.SummarizeInts(informed)
-	return p, nil
+	return point{
+		Slots:       col.Slots(),
+		MaxEnergy:   col.MaxEnergy(),
+		EveEnergy:   col.EveEnergy(),
+		AllInformed: col.AllInformed(),
+		Invariants:  col.Invariants(),
+	}, nil
 }
 
 // defaultTrials resolves the trial count.

@@ -1,6 +1,7 @@
 package predict
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"multicast/internal/core"
 	"multicast/internal/protocol"
 	"multicast/internal/rng"
+	"multicast/internal/runner"
 	"multicast/internal/sim"
 )
 
@@ -86,7 +88,7 @@ func TestEpidemicSlotsAgainstSimulation(t *testing.T) {
 	params := core.Sim()
 	want := EpidemicSlots(n, params.CoreP, n/2)
 
-	ms, err := sim.RunTrials(sim.Config{
+	ms, err := runner.All(context.Background(), sim.Config{
 		N: n,
 		Algorithm: func() (protocol.Algorithm, error) {
 			return core.NewMultiCastCore(params, n, 0)

@@ -1,0 +1,158 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"multicast/internal/sim"
+	"multicast/internal/stats"
+)
+
+// Collector streams the headline per-trial metrics into mergeable
+// accumulators: the standard sink for statistical campaigns. Shards fill
+// one Collector each (in trial order — Run guarantees that), marshal it
+// to JSON, and any machine can Merge the artifacts into the summary the
+// unsharded run would have produced (bit-identical while the total trial
+// count stays within the accumulators' sample cap; see stats.Accumulator
+// for the above-cap approximation).
+type Collector struct {
+	trials       int64
+	slots        *stats.Accumulator
+	maxEnergy    *stats.Accumulator
+	sourceEnergy *stats.Accumulator
+	meanEnergy   *stats.Accumulator
+	eveEnergy    *stats.Accumulator
+	allInformed  *stats.Accumulator
+	invariants   sim.InvariantCounts
+}
+
+// NewCollector returns an empty collector with the default sample cap.
+func NewCollector() *Collector { return NewCollectorCap(stats.DefaultSampleCap) }
+
+// NewCollectorCap returns an empty collector whose accumulators retain
+// up to capSamples raw samples each.
+func NewCollectorCap(capSamples int) *Collector {
+	return &Collector{
+		slots:        stats.NewAccumulatorCap(capSamples),
+		maxEnergy:    stats.NewAccumulatorCap(capSamples),
+		sourceEnergy: stats.NewAccumulatorCap(capSamples),
+		meanEnergy:   stats.NewAccumulatorCap(capSamples),
+		eveEnergy:    stats.NewAccumulatorCap(capSamples),
+		allInformed:  stats.NewAccumulatorCap(capSamples),
+	}
+}
+
+// Add folds one trial's metrics in; it has the Sink signature.
+func (c *Collector) Add(_ int, m sim.Metrics) error {
+	c.trials++
+	c.slots.AddInt64(m.Slots)
+	c.maxEnergy.AddInt64(m.MaxNodeEnergy)
+	c.sourceEnergy.AddInt64(m.SourceEnergy)
+	c.meanEnergy.Add(m.MeanNodeEnergy)
+	c.eveEnergy.AddInt64(m.EveEnergy)
+	c.allInformed.AddInt64(m.AllInformedSlot)
+	c.invariants.Add(m.Invariants)
+	return nil
+}
+
+// Merge folds other into c, as if other's trials had been added here.
+func (c *Collector) Merge(other *Collector) {
+	c.trials += other.trials
+	c.slots.Merge(other.slots)
+	c.maxEnergy.Merge(other.maxEnergy)
+	c.sourceEnergy.Merge(other.sourceEnergy)
+	c.meanEnergy.Merge(other.meanEnergy)
+	c.eveEnergy.Merge(other.eveEnergy)
+	c.allInformed.Merge(other.allInformed)
+	c.invariants.Add(other.invariants)
+}
+
+// Trials returns the number of trials folded in (across merges).
+func (c *Collector) Trials() int64 { return c.trials }
+
+// Invariants returns the summed safety-violation counts.
+func (c *Collector) Invariants() sim.InvariantCounts { return c.invariants }
+
+// Slots summarizes the per-trial slot counts.
+func (c *Collector) Slots() stats.Summary { return c.slots.Summary() }
+
+// MaxEnergy summarizes the per-trial max node energies.
+func (c *Collector) MaxEnergy() stats.Summary { return c.maxEnergy.Summary() }
+
+// SourceEnergy summarizes the per-trial source energies.
+func (c *Collector) SourceEnergy() stats.Summary { return c.sourceEnergy.Summary() }
+
+// MeanEnergy summarizes the per-trial mean node energies.
+func (c *Collector) MeanEnergy() stats.Summary { return c.meanEnergy.Summary() }
+
+// EveEnergy summarizes the per-trial adversary spends.
+func (c *Collector) EveEnergy() stats.Summary { return c.eveEnergy.Summary() }
+
+// AllInformed summarizes the per-trial all-informed slots (-1 = never).
+func (c *Collector) AllInformed() stats.Summary { return c.allInformed.Summary() }
+
+// collectorJSON is the Collector wire format (the payload of shard
+// summary files written by cmd/mcast -summary-out).
+type collectorJSON struct {
+	Trials       int64               `json:"trials"`
+	Slots        *stats.Accumulator  `json:"slots"`
+	MaxEnergy    *stats.Accumulator  `json:"max_node_energy"`
+	SourceEnergy *stats.Accumulator  `json:"source_energy"`
+	MeanEnergy   *stats.Accumulator  `json:"mean_node_energy"`
+	EveEnergy    *stats.Accumulator  `json:"eve_energy"`
+	AllInformed  *stats.Accumulator  `json:"all_informed_slot"`
+	Invariants   sim.InvariantCounts `json:"invariants"`
+}
+
+// MarshalJSON encodes the full collector state for cross-machine merges.
+func (c *Collector) MarshalJSON() ([]byte, error) {
+	return json.Marshal(collectorJSON{
+		Trials:       c.trials,
+		Slots:        c.slots,
+		MaxEnergy:    c.maxEnergy,
+		SourceEnergy: c.sourceEnergy,
+		MeanEnergy:   c.meanEnergy,
+		EveEnergy:    c.eveEnergy,
+		AllInformed:  c.allInformed,
+		Invariants:   c.invariants,
+	})
+}
+
+// UnmarshalJSON restores a collector marshalled by MarshalJSON.
+func (c *Collector) UnmarshalJSON(data []byte) error {
+	j := collectorJSON{
+		Slots:        stats.NewAccumulator(),
+		MaxEnergy:    stats.NewAccumulator(),
+		SourceEnergy: stats.NewAccumulator(),
+		MeanEnergy:   stats.NewAccumulator(),
+		EveEnergy:    stats.NewAccumulator(),
+		AllInformed:  stats.NewAccumulator(),
+	}
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	// An explicit JSON null overwrites the pre-seeded accumulators with
+	// nil; reject that as corrupt rather than crashing later.
+	for _, a := range []*stats.Accumulator{
+		j.Slots, j.MaxEnergy, j.SourceEnergy, j.MeanEnergy, j.EveEnergy, j.AllInformed,
+	} {
+		if a == nil {
+			return fmt.Errorf("runner: collector state is missing an accumulator")
+		}
+	}
+	if j.Trials < 0 || j.Trials != j.Slots.Count() {
+		return fmt.Errorf("runner: inconsistent collector state (trials=%d, slots count=%d)",
+			j.Trials, j.Slots.Count())
+	}
+	*c = Collector{
+		trials:       j.Trials,
+		slots:        j.Slots,
+		maxEnergy:    j.MaxEnergy,
+		sourceEnergy: j.SourceEnergy,
+		meanEnergy:   j.MeanEnergy,
+		eveEnergy:    j.EveEnergy,
+		allInformed:  j.AllInformed,
+		invariants:   j.Invariants,
+	}
+	return nil
+}

@@ -54,21 +54,5 @@ func BenchmarkSlotLoopAdaptive(b *testing.B) {
 	b.ReportMetric(float64(nodeSlots)/b.Elapsed().Seconds(), "node-slots/s")
 }
 
-// BenchmarkRunTrialsParallel measures trial-level scaling across cores.
-func BenchmarkRunTrialsParallel(b *testing.B) {
-	const n = 128
-	cfg := Config{
-		N: n,
-		Algorithm: func() (protocol.Algorithm, error) {
-			return core.NewMultiCast(core.Sim(), n)
-		},
-		Adversary: adversary.FullBurst(0),
-		Budget:    20_000,
-		Seed:      1,
-	}
-	for i := 0; i < b.N; i++ {
-		if _, err := RunTrials(cfg, 16); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// Trial-level parallel scaling is benchmarked in multicast/internal/runner,
+// which owns the worker pool.

@@ -15,18 +15,18 @@
 // engines bit-identical by construction. Both produce bit-identical
 // Metrics; the dense loop is retained as the equivalence oracle.
 //
-// One goroutine drives one execution; statistical replication is done by
-// RunTrials, which fans independent seeds out over a worker pool. The
-// engine is deterministic given (Config, Seed): parallel and serial trial
-// runs produce identical per-trial metrics.
+// One goroutine drives one execution; statistical replication (parallel
+// seeded trials, sharding, streaming sinks) is the job of
+// multicast/internal/runner, which derives trial seeds from Config.Seed
+// and cancels in-flight executions through Config.Interrupt. The engine
+// is deterministic given (Config, Seed): parallel and serial trial runs
+// produce identical per-trial metrics.
 package sim
 
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"multicast/internal/adversary"
 	"multicast/internal/bitset"
@@ -104,6 +104,12 @@ type Config struct {
 	// uses the sparse fast path whenever it applies. Dense and Sparse
 	// produce bit-identical Metrics for every configuration.
 	Engine Engine
+	// Interrupt, if non-nil, aborts the execution with ErrInterrupted
+	// shortly after the channel is closed. Both engines poll it every
+	// interruptStride slots (and the sparse engine once per wake), so
+	// the hot loop pays nothing measurable for it. The trial runner
+	// wires a context's Done channel here to cancel in-flight work.
+	Interrupt <-chan struct{}
 }
 
 // DefaultMaxSlots bounds runaway executions (~1.3·10⁸ slots).
@@ -111,6 +117,14 @@ const DefaultMaxSlots = int64(1) << 27
 
 // ErrMaxSlots reports that an execution did not terminate within MaxSlots.
 var ErrMaxSlots = errors.New("sim: execution exceeded MaxSlots without terminating")
+
+// ErrInterrupted reports that an execution was aborted via Config.Interrupt.
+var ErrInterrupted = errors.New("sim: execution interrupted")
+
+// interruptStride is how many slots pass between Interrupt polls: rare
+// enough to be free, frequent enough that cancellation lands within
+// microseconds at measured engine throughput.
+const interruptStride = 1 << 12
 
 // Observer receives tracing callbacks. All slots of one execution are
 // reported from a single goroutine.
@@ -333,12 +347,27 @@ func (ex *execution) errMaxSlots(slot int64) error {
 	return fmt.Errorf("%w (slot %d, algorithm %s)", ErrMaxSlots, slot, ex.alg.Name())
 }
 
+// interrupted reports whether Config.Interrupt has fired (false when the
+// channel is nil).
+func (ex *execution) interrupted() bool {
+	select {
+	case <-ex.cfg.Interrupt:
+		return true
+	default:
+		return false
+	}
+}
+
 func (ex *execution) runDense() (Metrics, error) {
 	maxSlots := ex.maxSlots()
 	for slot := int64(0); ; slot++ {
 		if slot >= maxSlots {
 			ex.fillMetrics(slot)
 			return ex.metrics, ex.errMaxSlots(slot)
+		}
+		if slot&(interruptStride-1) == 0 && ex.interrupted() {
+			ex.fillMetrics(slot)
+			return ex.metrics, ErrInterrupted
 		}
 		ex.stepSlot(slot, ex.active, true)
 		if ex.haltedCount == ex.cfg.N {
@@ -553,41 +582,7 @@ func (ex *execution) fillMetrics(slots int64) {
 	}
 }
 
-// RunTrials executes independent trials with seeds baseSeed, baseSeed+1, …
-// and returns their metrics in seed order. Trials run in parallel on up to
-// GOMAXPROCS workers; the first error (by seed order) aborts the batch.
-func RunTrials(cfg Config, trials int) ([]Metrics, error) {
-	if trials <= 0 {
-		return nil, fmt.Errorf("sim: trials = %d must be positive", trials)
-	}
-	results := make([]Metrics, trials)
-	errs := make([]error, trials)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range next {
-				c := cfg
-				c.Seed = cfg.Seed + uint64(t)
-				results[t], errs[t] = Run(c)
-			}
-		}()
-	}
-	for t := 0; t < trials; t++ {
-		next <- t
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
-}
+// Statistical replication (parallel seeded trials, sharding, streaming
+// sinks) lives in multicast/internal/runner, which builds on Run and the
+// Interrupt hook; package sim deliberately contains no batch machinery,
+// so one execution stays the engine's only unit of work.

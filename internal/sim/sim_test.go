@@ -155,14 +155,14 @@ func TestSafetyInvariantsAcrossSeeds(t *testing.T) {
 	}
 	for an, alg := range algs {
 		for vn, adv := range advs {
-			ms, err := RunTrials(Config{
-				N: 64, Algorithm: alg, Adversary: adv, Budget: 10_000, Seed: 100,
-			}, 6)
-			if err != nil {
-				t.Errorf("%s/%s: %v", an, vn, err)
-				continue
-			}
-			for i, m := range ms {
+			for i := 0; i < 6; i++ {
+				m, err := Run(Config{
+					N: 64, Algorithm: alg, Adversary: adv, Budget: 10_000, Seed: 100 + uint64(i),
+				})
+				if err != nil {
+					t.Errorf("%s/%s trial %d: %v", an, vn, i, err)
+					continue
+				}
 				if m.Invariants.Any() {
 					t.Errorf("%s/%s trial %d: invariants violated: %+v", an, vn, i, m.Invariants)
 				}
@@ -174,28 +174,39 @@ func TestSafetyInvariantsAcrossSeeds(t *testing.T) {
 	}
 }
 
-func TestRunTrialsMatchesSerialRuns(t *testing.T) {
-	cfg := Config{N: 64, Algorithm: mcast(64), Adversary: adversary.RandomFraction(0.3), Budget: 20_000, Seed: 7}
-	par, err := RunTrials(cfg, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 8; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(i)
-		serial, err := Run(c)
-		if err != nil {
-			t.Fatal(err)
+func TestInterruptAborts(t *testing.T) {
+	// A pre-fired interrupt must stop either engine near-immediately,
+	// long before the jammed execution would end on its own.
+	interrupt := make(chan struct{})
+	close(interrupt)
+	for _, eng := range []Engine{EngineDense, EngineSparse} {
+		m, err := Run(Config{
+			N: 64, Algorithm: mcCore(64, 1<<40),
+			Adversary: adversary.FullBurst(0), Budget: 1 << 40,
+			Seed: 1, Engine: eng, Interrupt: interrupt,
+		})
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("engine %v: err = %v, want ErrInterrupted", eng, err)
 		}
-		if par[i] != serial {
-			t.Fatalf("trial %d: parallel %+v != serial %+v", i, par[i], serial)
+		if m.Slots > interruptStride {
+			t.Errorf("engine %v: ran %d slots after interrupt (stride %d)", eng, m.Slots, interruptStride)
 		}
 	}
 }
 
-func TestRunTrialsValidation(t *testing.T) {
-	if _, err := RunTrials(Config{N: 64, Algorithm: mcCore(64, 0)}, 0); err == nil {
-		t.Error("accepted zero trials")
+func TestInterruptNilIsNoop(t *testing.T) {
+	cfg := Config{N: 64, Algorithm: mcast(64), Adversary: adversary.RandomFraction(0.5), Budget: 30_000, Seed: 42}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Interrupt = make(chan struct{}) // open channel: never fires
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("an idle Interrupt channel changed the execution")
 	}
 }
 

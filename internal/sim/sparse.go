@@ -193,7 +193,18 @@ func (ex *execution) runSparse() (Metrics, error) {
 	awake := make([]int, 0, ex.cfg.N)
 
 	cur := int64(0)
+	poll := 0
 	for {
+		// Interrupt poll: iterations are at least one wake (or one bulk
+		// range skip) each, so a stride of slots-worth of iterations keeps
+		// the poll cost invisible while still cancelling promptly.
+		if poll--; poll <= 0 {
+			poll = interruptStride
+			if ex.interrupted() {
+				ex.fillMetrics(cur)
+				return ex.metrics, ErrInterrupted
+			}
+		}
 		ring.advance(cur)
 		next, ok := ring.nextWakeSlot(cur)
 		if !ok {
@@ -209,6 +220,10 @@ func (ex *execution) runSparse() (Metrics, error) {
 				cur = to
 			} else {
 				for cur < next && cur < maxSlots {
+					if cur&(interruptStride-1) == 0 && ex.interrupted() {
+						ex.fillMetrics(cur)
+						return ex.metrics, ErrInterrupted
+					}
 					ex.stepSlot(cur, nil, false)
 					cur++
 				}

@@ -6,49 +6,28 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Summary describes the distribution of one scalar metric across trials.
 type Summary struct {
 	Count                 int
+	Dropped               int // non-finite samples excluded from the moments
 	Mean, Std             float64
 	Min, Max              float64
 	Median, P25, P75, P95 float64
 }
 
-// Summarize computes a Summary of xs. It panics on an empty slice.
+// Summarize computes a Summary of xs. Empty input yields the zero
+// Summary (Count 0) rather than a panic, and non-finite samples (NaN,
+// ±Inf) are excluded from every moment and tallied in Dropped — the
+// error path is the Count/Dropped pair, which callers can inspect.
+// The result is a pure function of the finite-sample multiset.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
-		panic("stats: Summarize of empty slice")
-	}
-	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
-	var sum float64
+	a := NewAccumulatorCap(max(len(xs), 1))
 	for _, x := range xs {
-		sum += x
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
+		a.Add(x)
 	}
-	s.Mean = sum / float64(len(xs))
-	var ss float64
-	for _, x := range xs {
-		d := x - s.Mean
-		ss += d * d
-	}
-	if len(xs) > 1 {
-		s.Std = math.Sqrt(ss / float64(len(xs)-1))
-	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	s.Median = Quantile(sorted, 0.5)
-	s.P25 = Quantile(sorted, 0.25)
-	s.P75 = Quantile(sorted, 0.75)
-	s.P95 = Quantile(sorted, 0.95)
-	return s
+	return a.Summary()
 }
 
 // SummarizeInts converts and summarizes integer samples.
@@ -61,10 +40,11 @@ func SummarizeInts(xs []int64) Summary {
 }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of sorted (ascending) data
-// using linear interpolation. It panics on empty input.
+// using linear interpolation. Empty input returns 0 (the documented zero
+// path — callers that must distinguish "no data" check len first).
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
-		panic("stats: Quantile of empty slice")
+		return 0
 	}
 	if q <= 0 {
 		return sorted[0]

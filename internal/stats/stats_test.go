@@ -25,13 +25,40 @@ func TestSummarizeSingle(t *testing.T) {
 	}
 }
 
-func TestSummarizeEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on empty input")
+// Edge-case contract: empty, single-element, and non-finite inputs take
+// the documented zero/Dropped path instead of panicking or silently
+// propagating NaN into every moment.
+func TestSummarizeEdgeCases(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		in   []float64
+		want Summary
+	}{
+		{"empty", nil, Summary{}},
+		{"single", []float64{7}, Summary{Count: 1, Mean: 7, Min: 7, Max: 7, Median: 7, P25: 7, P75: 7, P95: 7}},
+		{"all NaN", []float64{nan, nan}, Summary{Dropped: 2}},
+		{"NaN mixed in", []float64{3, nan, 1, inf, 2}, Summary{
+			Count: 3, Dropped: 2, Mean: 2, Std: 1, Min: 1, Max: 3,
+			Median: 2, P25: 1.5, P75: 2.5, P95: 2.9,
+		}},
+	}
+	for _, tc := range cases {
+		got := Summarize(tc.in)
+		if got.Count != tc.want.Count || got.Dropped != tc.want.Dropped ||
+			!almost(got.Mean, tc.want.Mean, 1e-12) || !almost(got.Std, tc.want.Std, 1e-12) ||
+			got.Min != tc.want.Min || got.Max != tc.want.Max ||
+			!almost(got.Median, tc.want.Median, 1e-12) || !almost(got.P25, tc.want.P25, 1e-12) ||
+			!almost(got.P75, tc.want.P75, 1e-12) || !almost(got.P95, tc.want.P95, 1e-12) {
+			t.Errorf("%s: Summarize = %+v, want %+v", tc.name, got, tc.want)
 		}
-	}()
-	Summarize(nil)
+	}
+}
+
+func TestQuantileEmptyIsZero(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("Quantile(nil) = %v, want 0", got)
+	}
 }
 
 func TestSummarizeInts(t *testing.T) {

@@ -1,12 +1,14 @@
 package multicast
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"multicast/internal/adversary"
 	"multicast/internal/core"
 	"multicast/internal/protocol"
+	"multicast/internal/runner"
 	"multicast/internal/sim"
 	"multicast/internal/singlechan"
 )
@@ -181,12 +183,66 @@ func Run(cfg Config) (Metrics, error) {
 	return sim.Run(sc)
 }
 
-// RunTrials executes trials independent seeds (Seed, Seed+1, …) in
-// parallel and returns per-trial metrics in seed order.
-func RunTrials(cfg Config, trials int) ([]Metrics, error) {
+// Shard names one slice of a trial batch: Index of Count machines
+// (the zero value means unsharded). Shard i of k runs exactly the trials
+// t ≡ i (mod k); because trial t always uses seed Seed+t, the union of
+// any shard partition is bit-identical to the unsharded batch, whatever
+// the worker counts or machine boundaries.
+type Shard struct {
+	Index int
+	Count int
+}
+
+// TrialPlan describes a batch of trials for RunTrialsContext.
+type TrialPlan struct {
+	// Trials is the total batch size across all shards; trial t runs
+	// with seed Config.Seed + t.
+	Trials int
+	// Shard selects this machine's slice (zero value: the whole batch).
+	Shard Shard
+	// Workers caps the trial worker pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// TrialSink consumes one trial's metrics. RunTrialsContext calls it from
+// a single goroutine in ascending trial order; returning an error aborts
+// the batch.
+type TrialSink func(trial int, m Metrics) error
+
+// RunTrialsContext streams the metrics of independently seeded trials
+// (seed Seed+t for trial t) to sink in ascending trial order, running up
+// to Workers executions in parallel. Cancelling the context interrupts
+// in-flight executions and returns promptly; a trial failure or sink
+// error likewise aborts the batch without draining the queue (the error
+// returned is the first in trial order). Memory is O(workers), so batch
+// sizes are bounded by patience, not RAM; shards of one batch run on
+// separate machines and their summaries merge exactly (see cmd/mcast
+// -shard/-merge).
+func RunTrialsContext(ctx context.Context, cfg Config, plan TrialPlan, sink TrialSink) error {
 	sc, err := cfg.build()
+	if err != nil {
+		return err
+	}
+	return runner.Run(ctx, sc, runner.Plan{
+		Trials:  plan.Trials,
+		Shard:   runner.Shard(plan.Shard),
+		Workers: plan.Workers,
+	}, runner.Sink(sink))
+}
+
+// RunTrials executes trials independent seeds (Seed, Seed+1, …) in
+// parallel and returns per-trial metrics in seed order. It is a buffered
+// convenience wrapper over RunTrialsContext; prefer the streaming form
+// for large batches.
+func RunTrials(cfg Config, trials int) ([]Metrics, error) {
+	ms := make([]Metrics, 0, max(trials, 0))
+	err := RunTrialsContext(context.Background(), cfg, TrialPlan{Trials: trials},
+		func(_ int, m Metrics) error {
+			ms = append(ms, m)
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	return sim.RunTrials(sc, trials)
+	return ms, nil
 }

@@ -1,6 +1,7 @@
 package multicast_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -131,6 +132,54 @@ func TestCustomParams(t *testing.T) {
 	}
 	if m.Invariants.Any() {
 		t.Fatalf("invariant violations with rescaled params: %+v", m.Invariants)
+	}
+}
+
+// The streaming API must deliver in-order metrics whose shard-partition
+// union is exactly the unsharded batch — the public face of the trial
+// runner's determinism contract.
+func TestRunTrialsContextShardUnion(t *testing.T) {
+	cfg := multicast.Config{N: 64, Budget: 10_000, Adversary: multicast.SweepJammer(8), Seed: 17}
+	const trials = 9
+	want, err := multicast.RunTrials(cfg, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := make(map[int]multicast.Metrics)
+	for i := 0; i < 3; i++ {
+		last := -1
+		err := multicast.RunTrialsContext(context.Background(), cfg,
+			multicast.TrialPlan{Trials: trials, Shard: multicast.Shard{Index: i, Count: 3}, Workers: i + 1},
+			func(trial int, m multicast.Metrics) error {
+				if trial <= last || trial%3 != i {
+					t.Errorf("shard %d: trial %d out of order or off-shard (last %d)", i, trial, last)
+				}
+				last = trial
+				union[trial] = m
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	if len(union) != trials {
+		t.Fatalf("shards covered %d of %d trials", len(union), trials)
+	}
+	for tr, m := range union {
+		if m != want[tr] {
+			t.Errorf("trial %d differs between sharded and unsharded runs", tr)
+		}
+	}
+}
+
+func TestRunTrialsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := multicast.RunTrialsContext(ctx, multicast.Config{N: 64, Seed: 1},
+		multicast.TrialPlan{Trials: 4},
+		func(int, multicast.Metrics) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
