@@ -17,6 +17,18 @@
 //	mcast -alg multicast -n 256 -trials 100000 -shard 2/3 -summary-out s2.json   # machine 2
 //	mcast -merge s0.json s1.json s2.json
 //
+// Scenario sweeps run a whole registry workload (several points ×
+// -trials each) as one campaign; -shard then slices the flattened
+// (point × trial) grid, and -merge recombines per point:
+//
+//	mcast -list-scenarios
+//	mcast -scenario channel-ladder -trials 100
+//	mcast -scenario duel -n 64 -trials 50000 -shard 0/2 -summary-out d0.json
+//	mcast -scenario duel -n 64 -trials 50000 -shard 1/2 -summary-out d1.json
+//	mcast -merge d0.json d1.json
+//
+// See docs/OPERATIONS.md for the cross-machine campaign playbook.
+//
 // Adversaries: none, burst, fraction, random, sweep, pulse, bursty,
 // targeted (phase-targeted, for MultiCastAdv), and the adaptive pair
 // reactive and camper (the §8 extension).
@@ -57,15 +69,64 @@ func main() {
 		curve    = flag.Bool("curve", false, "print sparkline charts of the run (informed/halted/jammed/traffic)")
 		alpha    = flag.Float64("alpha", 0, "override MultiCastAdv α (0 = preset)")
 		engName  = flag.String("engine", "auto", "slot-loop engine: auto|dense|sparse (identical results; dense is the reference loop)")
-		shardStr = flag.String("shard", "", "run shard i/k of the trial batch (e.g. 0/3); implies summary output")
+		shardStr = flag.String("shard", "", "run shard i/k of the trial batch or sweep grid (e.g. 0/3); implies summary output")
 		sumOut   = flag.String("summary-out", "", "write the mergeable summary JSON to this path")
 		merge    = flag.Bool("merge", false, "merge the shard summary files given as arguments and print the combined summary")
 		workers  = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
+		scenName = flag.String("scenario", "", "run a registry scenario sweep (-trials per point; overrides -alg/-adv; see -list-scenarios)")
+		listScen = flag.Bool("list-scenarios", false, "list the scenario registry and exit")
+		quick    = flag.Bool("quick", false, "with -scenario: expand the trimmed (smoke-test) point list")
 	)
 	flag.Parse()
+	// Overrides like -n only reach a scenario when given explicitly —
+	// flag defaults must not clobber per-scenario defaults.
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+
+	if *listScen {
+		listScenarios()
+		return
+	}
 
 	if *merge {
-		fatal(mergeSummaries(flag.Args(), *sumOut))
+		args := flag.Args()
+		if len(args) == 0 {
+			fatal(fmt.Errorf("-merge needs at least one summary file argument"))
+		}
+		sweep, err := isSweepSummary(args[0])
+		fatal(err)
+		if sweep {
+			fatal(mergeSweepSummaries(args, *sumOut))
+		} else {
+			fatal(mergeSummaries(args, *sumOut))
+		}
+		return
+	}
+
+	if *scenName != "" {
+		// The scenario defines the workloads; a workload flag that would
+		// be silently dropped is refused instead.
+		scenFlags := map[string]bool{
+			"scenario": true, "quick": true, "n": true, "budget": true, "seed": true,
+			"trials": true, "engine": true, "workers": true, "shard": true, "summary-out": true,
+		}
+		for name := range setFlags {
+			if !scenFlags[name] {
+				fatal(fmt.Errorf("-%s has no effect with -scenario (the scenario defines the workload)", name))
+			}
+		}
+		engine, err := multicast.ParseEngine(*engName)
+		fatal(err)
+		shard, err := parseShard(*shardStr)
+		fatal(err)
+		opts := multicast.ScenarioOptions{Seed: *seed, Quick: *quick}
+		if setFlags["n"] {
+			opts.N = *n
+		}
+		if setFlags["budget"] {
+			opts.Budget = *budget
+		}
+		fatal(runScenario(*scenName, opts, engine, *trials, shard, *workers, *sumOut))
 		return
 	}
 
@@ -249,23 +310,21 @@ func (f summaryFile) scenario() string {
 
 func writeSummary(path string, f summaryFile) error {
 	f.Tool = "mcast"
-	data, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeJSON(path, f)
 }
 
 // mergeSummaries combines shard artifacts into the full-batch summary.
 // The union must cover the campaign's whole trial batch, so a dropped
-// shard file is an error, not a silently thinner sample.
+// shard file is an error, not a silently thinner sample (the
+// exact-coverage rules live in shardCoverage, shared with the sweep
+// merge path).
 func mergeSummaries(paths []string, out string) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("-merge needs at least one summary file argument")
 	}
 	var first summaryFile
 	merged := runner.NewCollector()
-	seen := make(map[int]string, len(paths))
+	var cover shardCoverage
 	for i, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -276,33 +335,21 @@ func mergeSummaries(paths []string, out string) error {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		if f.Collector == nil {
+			if sweep, err := isSweepSummary(path); err == nil && sweep {
+				return fmt.Errorf("%s is a scenario-sweep summary; it cannot merge with the single-workload summary %s", path, paths[0])
+			}
 			return fmt.Errorf("%s: no collector payload", path)
 		}
-		if f.ShardCount < 1 || f.ShardIndex < 0 || f.ShardIndex >= f.ShardCount {
-			return fmt.Errorf("%s: invalid shard %d/%d", path, f.ShardIndex, f.ShardCount)
+		if err := cover.add(path, f.scenario(), f.ShardIndex, f.ShardCount); err != nil {
+			return err
 		}
 		if i == 0 {
 			first = f
-		} else if f.scenario() != first.scenario() {
-			return fmt.Errorf("%s is from a different campaign:\n  %s\nvs %s:\n  %s",
-				path, f.scenario(), paths[0], first.scenario())
 		}
-		// Exact-coverage bookkeeping: the files must be the k distinct
-		// shards of one k-way split (trial counts alone can balance out
-		// even when a shard is merged twice and another dropped).
-		if f.ShardCount != first.ShardCount {
-			return fmt.Errorf("%s is shard %d/%d but %s is of a %d-way split",
-				path, f.ShardIndex, f.ShardCount, paths[0], first.ShardCount)
-		}
-		if prev, dup := seen[f.ShardIndex]; dup {
-			return fmt.Errorf("%s duplicates shard %d/%d already merged from %s",
-				path, f.ShardIndex, f.ShardCount, prev)
-		}
-		seen[f.ShardIndex] = path
 		merged.Merge(f.Collector)
 	}
-	if len(seen) != first.ShardCount {
-		return fmt.Errorf("got %d of %d shards — missing shard files", len(seen), first.ShardCount)
+	if err := cover.complete(); err != nil {
+		return err
 	}
 	if merged.Trials() != int64(first.Trials) {
 		return fmt.Errorf("merged shards cover %d of %d trials — corrupt shard files",

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"multicast"
+	"multicast/internal/runner"
+)
+
+// listScenarios prints the registry, one scenario per line (the name is
+// the first field — CI scrapes it to verify docs coverage).
+func listScenarios() {
+	for _, s := range multicast.Scenarios() {
+		fmt.Printf("%-19s %s\n", s.Name, s.Description)
+	}
+}
+
+// sweepPointFile is one point's slice of a sweep summary artifact.
+type sweepPointFile struct {
+	// Label is the point's name within the scenario, e.g. "C=8".
+	Label string `json:"label"`
+	// Workload is the point's full identity string (multicast.Config
+	// Describe); -merge refuses to combine points whose identities differ.
+	Workload  string            `json:"workload"`
+	Collector *runner.Collector `json:"collector"`
+}
+
+// sweepSummaryFile is the mergeable artifact written by a sharded (or
+// unsharded) `mcast -scenario` campaign: per-point collectors over the
+// flattened (point × trial) grid.
+type sweepSummaryFile struct {
+	Tool       string           `json:"tool"`
+	Scenario   string           `json:"scenario"`
+	Trials     int              `json:"trials"` // per point
+	Seed       uint64           `json:"seed"`
+	ShardIndex int              `json:"shard_index"`
+	ShardCount int              `json:"shard_count"`
+	Points     []sweepPointFile `json:"points"`
+}
+
+// campaign is the sweep identity two files must share to merge:
+// everything that determines results, nothing that must not (shard
+// layout, workers, engine).
+func (f sweepSummaryFile) campaign() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario=%s trials=%d seed=%d", f.Scenario, f.Trials, f.Seed)
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "\n  %s: %s", p.Label, p.Workload)
+	}
+	return b.String()
+}
+
+// runScenario executes (one shard of) a scenario sweep and writes the
+// mergeable per-point summary artifact.
+func runScenario(name string, opts multicast.ScenarioOptions, engine multicast.Engine,
+	trials int, shard multicast.Shard, workers int, sumOut string) error {
+	scen, ok := multicast.ScenarioByName(name)
+	if !ok {
+		var names []string
+		for _, s := range multicast.Scenarios() {
+			names = append(names, s.Name)
+		}
+		return fmt.Errorf("unknown scenario %q (have %s)", name, strings.Join(names, ", "))
+	}
+	points := multicast.ExpandScenario(scen, opts)
+	if len(points) == 0 {
+		return fmt.Errorf("scenario %s expanded to zero points", name)
+	}
+	cfgs := make([]multicast.Config, len(points))
+	cols := make([]*runner.Collector, len(points))
+	for i, p := range points {
+		p.Config.Engine = engine
+		cfgs[i] = p.Config
+		cols[i] = runner.NewCollector()
+	}
+
+	fmt.Printf("scenario=%s points=%d trials=%d seed=%d\n\n", scen.Name, len(points), trials, opts.Seed)
+	err := multicast.RunSweepContext(context.Background(), cfgs,
+		multicast.SweepPlan{Trials: trials, Shard: shard, Workers: workers},
+		func(p, t int, m multicast.Metrics) error { return cols[p].Add(t, m) })
+	if err != nil {
+		return err
+	}
+	if shard.Count > 1 {
+		var cells int64
+		for _, c := range cols {
+			cells += c.Trials()
+		}
+		fmt.Printf("shard %d/%d: %d of %d grid cells\n\n",
+			shard.Index, shard.Count, cells, len(points)*trials)
+	}
+	file := sweepSummaryFile{
+		Tool:       "mcast",
+		Scenario:   scen.Name,
+		Trials:     trials,
+		Seed:       opts.Seed,
+		ShardIndex: shard.Index,
+		ShardCount: max(shard.Count, 1),
+	}
+	for i, p := range points {
+		file.Points = append(file.Points, sweepPointFile{
+			Label:     p.Label,
+			Workload:  p.Config.Describe(),
+			Collector: cols[i],
+		})
+	}
+	printSweepSummaries(file)
+	if sumOut != "" {
+		if err := writeJSON(sumOut, file); err != nil {
+			return err
+		}
+		fmt.Printf("summary written to %s\n", sumOut)
+	}
+	return nil
+}
+
+// printSweepSummaries renders every point's summaries at full float
+// precision; like printSummaries, byte-equal output means bit-identical
+// summaries, and the sweep CI smoke diffs this text.
+func printSweepSummaries(f sweepSummaryFile) {
+	for _, p := range f.Points {
+		fmt.Printf("-- point %s (%s)\n", p.Label, p.Workload)
+		printSummaries(p.Collector)
+		fmt.Println()
+	}
+}
+
+// shardCoverage enforces the exact-coverage merge rules shared by the
+// single-workload and sweep merge paths: one campaign identity, one
+// k-way split, all k distinct shards present. Trial counts alone can
+// balance out even when a shard is merged twice and another dropped —
+// hence the index bookkeeping.
+type shardCoverage struct {
+	firstPath, firstCampaign string
+	count                    int
+	seen                     map[int]string
+}
+
+// add validates one shard file's identity and layout against the files
+// merged so far.
+func (c *shardCoverage) add(path, campaign string, index, count int) error {
+	if count < 1 || index < 0 || index >= count {
+		return fmt.Errorf("%s: invalid shard %d/%d", path, index, count)
+	}
+	if c.seen == nil {
+		c.seen = make(map[int]string)
+		c.firstPath, c.firstCampaign, c.count = path, campaign, count
+	} else {
+		if campaign != c.firstCampaign {
+			return fmt.Errorf("%s is from a different campaign:\n  %s\nvs %s:\n  %s",
+				path, indent(campaign), c.firstPath, indent(c.firstCampaign))
+		}
+		if count != c.count {
+			return fmt.Errorf("%s is shard %d/%d but %s is of a %d-way split",
+				path, index, count, c.firstPath, c.count)
+		}
+	}
+	if prev, dup := c.seen[index]; dup {
+		return fmt.Errorf("%s duplicates shard %d/%d already merged from %s",
+			path, index, count, prev)
+	}
+	c.seen[index] = path
+	return nil
+}
+
+// complete checks that every shard of the split was merged.
+func (c *shardCoverage) complete() error {
+	if len(c.seen) != c.count {
+		return fmt.Errorf("got %d of %d shards — missing shard files", len(c.seen), c.count)
+	}
+	return nil
+}
+
+// mergeSweepSummaries combines sweep shard artifacts into the full-sweep
+// per-point summaries, with the same exact-coverage rules as the
+// single-config merge: one campaign, all k shards, no duplicates.
+func mergeSweepSummaries(paths []string, out string) error {
+	var first sweepSummaryFile
+	var merged []*runner.Collector
+	var cover shardCoverage
+	for i, path := range paths {
+		f, err := readSweepSummary(path)
+		if err != nil {
+			return err
+		}
+		if err := cover.add(path, f.campaign(), f.ShardIndex, f.ShardCount); err != nil {
+			return err
+		}
+		if i == 0 {
+			first = f
+			merged = make([]*runner.Collector, len(f.Points))
+			for p := range merged {
+				merged[p] = runner.NewCollector()
+			}
+		}
+		for p := range f.Points {
+			merged[p].Merge(f.Points[p].Collector)
+		}
+	}
+	if err := cover.complete(); err != nil {
+		return err
+	}
+	for p := range merged {
+		if merged[p].Trials() != int64(first.Trials) {
+			return fmt.Errorf("point %s: merged shards cover %d of %d trials — corrupt shard files",
+				first.Points[p].Label, merged[p].Trials(), first.Trials)
+		}
+	}
+	fmt.Printf("merged %d sweep shard file(s): %s\n\n", len(paths), indent(first.campaign()))
+	for p := range first.Points {
+		first.Points[p].Collector = merged[p]
+	}
+	printSweepSummaries(first)
+	if out != "" {
+		first.ShardIndex, first.ShardCount = 0, 1
+		if err := writeJSON(out, first); err != nil {
+			return err
+		}
+		fmt.Printf("merged summary written to %s\n", out)
+	}
+	return nil
+}
+
+// readSweepSummary loads and validates one sweep shard artifact.
+func readSweepSummary(path string) (sweepSummaryFile, error) {
+	var f sweepSummaryFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Points) == 0 {
+		return f, fmt.Errorf("%s is not a scenario-sweep summary (no points); single-workload and sweep artifacts cannot merge", path)
+	}
+	for _, p := range f.Points {
+		if p.Collector == nil {
+			return f, fmt.Errorf("%s: point %s has no collector payload", path, p.Label)
+		}
+	}
+	return f, nil
+}
+
+// isSweepSummary reports whether the file at path is a sweep artifact
+// (vs a single-config one) without fully validating it — -merge uses it
+// to dispatch.
+func isSweepSummary(path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var probe struct {
+		Scenario string          `json:"scenario"`
+		Points   json.RawMessage `json:"points"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false, fmt.Errorf("%s: %w", path, err)
+	}
+	return probe.Scenario != "" || len(probe.Points) > 0, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func indent(s string) string { return strings.ReplaceAll(s, "\n", "\n  ") }

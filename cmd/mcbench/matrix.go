@@ -16,44 +16,25 @@ import (
 // the sparse wake-list engine wins exactly when few nodes act per slot —
 // so each algorithm appears at the densities that matter for it.
 type matrixWorkload struct {
-	name    string
-	density string // human label: mean fraction of nodes acting per slot
-	cfg     multicast.Config
+	name string
+	cfg  multicast.Config
 }
 
-// matrixWorkloads builds the benchmark rows. Workloads are fixed (like
-// benchScenario): comparable across PRs, jammed at half spectrum, n=128.
+// matrixWorkloads enumerates the benchmark rows through the scenario
+// registry's fixed "engine-matrix" workload grid (n=128, half spectrum
+// jammed — comparable across PRs; the registry ignores overrides for
+// it). The same points are reachable as `mcast -scenario engine-matrix`.
 func matrixWorkloads() []matrixWorkload {
-	const n = 128
-	base := multicast.Config{
-		N:         n,
-		Adversary: multicast.FractionJammer(0.5),
-		Budget:    100_000,
+	scen, ok := multicast.ScenarioByName("engine-matrix")
+	if !ok {
+		panic("mcbench: engine-matrix scenario missing from the registry")
 	}
-	core := func(p, a float64) multicast.Config {
-		params := multicast.SimParams()
-		params.CoreP = p
-		params.CoreA = a
-		c := base
-		c.Algorithm = multicast.AlgoMultiCastCore
-		c.Params = params
-		return c
+	points := multicast.ExpandScenario(scen, multicast.ScenarioOptions{Seed: 1})
+	rows := make([]matrixWorkload, len(points))
+	for i, p := range points {
+		rows[i] = matrixWorkload{name: p.Label, cfg: p.Config}
 	}
-	mc := base
-	mc.Algorithm = multicast.AlgoMultiCast
-	mcC := base
-	mcC.Algorithm = multicast.AlgoMultiCastC
-	mcC.Channels = 8
-	single := base
-	single.Algorithm = multicast.AlgoSingleChannel
-	single.Budget = 20_000 // one channel: T/C is the whole delay
-	return []matrixWorkload{
-		{"multicastcore", "p=1/8", core(1.0/8, 80)},
-		{"multicastcore", "p=1/64", core(1.0/64, 640)},
-		{"multicast", "schedule", mc},
-		{"multicast-c C=8", "schedule", mcC},
-		{"singlechannel", "schedule", single},
-	}
+	return rows
 }
 
 const (
@@ -70,12 +51,11 @@ type matrixCell struct {
 
 // matrixRow is one workload's measurements across engines.
 type matrixRow struct {
-	Algorithm string     `json:"algorithm"`
-	Density   string     `json:"density"`
-	Trials    int        `json:"trials"`
-	Dense     matrixCell `json:"dense"`
-	Sparse    matrixCell `json:"sparse"`
-	Speedup   float64    `json:"speedup"`
+	Workload string     `json:"workload"`
+	Trials   int        `json:"trials"`
+	Dense    matrixCell `json:"dense"`
+	Sparse   matrixCell `json:"sparse"`
+	Speedup  float64    `json:"speedup"`
 }
 
 // runMatrixCell measures one workload on one engine. Trials run through
@@ -83,7 +63,6 @@ type matrixRow struct {
 // and comparable while exercising the production execution path.
 func runMatrixCell(cfg multicast.Config, engine multicast.Engine, trials int) (matrixCell, error) {
 	cfg.Engine = engine
-	cfg.Seed = 1
 	var cell matrixCell
 	start := time.Now()
 	err := multicast.RunTrialsContext(context.Background(), cfg,
@@ -111,31 +90,31 @@ func runMatrix(outPath string, quick bool) error {
 	for _, w := range matrixWorkloads() {
 		dense, err := runMatrixCell(w.cfg, multicast.EngineDense, trials)
 		if err != nil {
-			return fmt.Errorf("%s %s dense: %w", w.name, w.density, err)
+			return fmt.Errorf("%s dense: %w", w.name, err)
 		}
 		sparse, err := runMatrixCell(w.cfg, multicast.EngineSparse, trials)
 		if err != nil {
-			return fmt.Errorf("%s %s sparse: %w", w.name, w.density, err)
+			return fmt.Errorf("%s sparse: %w", w.name, err)
 		}
 		// The matrix doubles as an engine-parity check on every workload.
 		if dense.Slots != sparse.Slots {
-			return fmt.Errorf("%s %s: engine divergence — dense %d slots, sparse %d",
-				w.name, w.density, dense.Slots, sparse.Slots)
+			return fmt.Errorf("%s: engine divergence — dense %d slots, sparse %d",
+				w.name, dense.Slots, sparse.Slots)
 		}
 		rows = append(rows, matrixRow{
-			Algorithm: w.name, Density: w.density, Trials: trials,
+			Workload: w.name, Trials: trials,
 			Dense: dense, Sparse: sparse,
 			Speedup: sparse.SlotsPerSec / dense.SlotsPerSec,
 		})
 	}
 
-	fmt.Printf("engine benchmark matrix (n=128, 50%% spectrum jammed, %d trials/cell, serial)\n\n", trials)
-	fmt.Printf("%-16s  %-9s  %12s  %14s  %14s  %8s\n",
-		"algorithm", "density", "slots", "dense slots/s", "sparse slots/s", "speedup")
-	fmt.Println(strings.Repeat("-", 82))
+	fmt.Printf("engine benchmark matrix (scenario engine-matrix: n=128, 50%% spectrum jammed, %d trials/cell, serial)\n\n", trials)
+	fmt.Printf("%-22s  %12s  %14s  %14s  %8s\n",
+		"workload", "slots", "dense slots/s", "sparse slots/s", "speedup")
+	fmt.Println(strings.Repeat("-", 78))
 	for _, r := range rows {
-		fmt.Printf("%-16s  %-9s  %12d  %14.0f  %14.0f  %7.2fx\n",
-			r.Algorithm, r.Density, r.Dense.Slots, r.Dense.SlotsPerSec, r.Sparse.SlotsPerSec, r.Speedup)
+		fmt.Printf("%-22s  %12d  %14.0f  %14.0f  %7.2fx\n",
+			r.Workload, r.Dense.Slots, r.Dense.SlotsPerSec, r.Sparse.SlotsPerSec, r.Speedup)
 	}
 	fmt.Println("\nengines agreed on total slots for every workload (bit-identity holds)")
 

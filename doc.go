@@ -90,4 +90,21 @@
 // beyond it). The first error in trial order aborts a batch: queued
 // trials never start and in-flight executions are interrupted, as they
 // are on context cancellation.
+//
+// # Scenarios and sweeps
+//
+// Workloads worth re-running have names: the scenario registry
+// (Scenarios, ScenarioByName) holds parameterized workload generators —
+// density spectra, channel and population ladders, the jammer gauntlet,
+// the paper's α regimes, the engine benchmark grid — that expand
+// (ExpandScenario) into concrete Config points. RunSweepContext executes
+// all of a sweep's points in one deterministic campaign by lifting the
+// trial-layer contract one level: the (point × trial) grid is flattened
+// into a single global index space (cell (p, t) runs with seed
+// points[p].Seed + t, exactly as if point p ran alone), and SweepPlan's
+// Shard slices that grid across machines, so a sweep sharded k ways and
+// merged per point is bit-identical to the unsharded sweep. The
+// experiment harness, `mcbench -matrix`, and `mcast -scenario` all
+// enumerate through the same registry; `mcast -list-scenarios` prints
+// it, and docs/OPERATIONS.md is the cross-machine campaign playbook.
 package multicast

@@ -1,6 +1,7 @@
 package multicast_test
 
 import (
+	"context"
 	"fmt"
 
 	"multicast"
@@ -52,6 +53,58 @@ func ExampleRunTrials() {
 	// Output:
 	// trials: 4
 	// every defender paid <10% of Eve's spend: true
+}
+
+// Stream one shard of a multi-machine trial batch. Shard 1 of 3 runs
+// exactly the trials t ≡ 1 (mod 3) of the same seeded batch (trial t
+// always uses seed Seed+t), and the sink sees them in ascending trial
+// order — so per-shard summaries merge bit-identically to the
+// unsharded run, whatever the worker counts (see docs/OPERATIONS.md).
+func ExampleRunTrialsContext() {
+	cfg := multicast.Config{
+		N:         64,
+		Algorithm: multicast.AlgoMultiCast,
+		Adversary: multicast.RandomFractionJammer(0.5),
+		Budget:    20_000,
+		Seed:      1,
+	}
+	var trials []int
+	err := multicast.RunTrialsContext(context.Background(), cfg,
+		multicast.TrialPlan{
+			Trials:  10,
+			Shard:   multicast.Shard{Index: 1, Count: 3},
+			Workers: 2,
+		},
+		func(t int, m multicast.Metrics) error {
+			trials = append(trials, t)
+			return nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("trials run by shard 1/3:", trials)
+	// Output:
+	// trials run by shard 1/3: [1 4 7]
+}
+
+// Select a workload scenario from the registry by name and expand it
+// into concrete sweep points — the same points `mcast -scenario
+// channel-ladder` runs, ready for RunSweepContext.
+func ExampleScenarioByName() {
+	scen, ok := multicast.ScenarioByName("channel-ladder")
+	if !ok {
+		panic("not registered")
+	}
+	points := multicast.ExpandScenario(scen, multicast.ScenarioOptions{Seed: 7})
+	for _, p := range points {
+		fmt.Printf("%-6s %s on %d channels (T=%d)\n",
+			p.Label, p.Config.Algorithm, p.Config.Channels, p.Config.Budget)
+	}
+	// Output:
+	// C=2    multicast-c on 2 channels (T=200000)
+	// C=8    multicast-c on 8 channels (T=200000)
+	// C=32   multicast-c on 32 channels (T=200000)
+	// C=128  multicast-c on 128 channels (T=200000)
 }
 
 // Select algorithms by name, e.g. from CLI flags.

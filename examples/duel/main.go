@@ -3,55 +3,62 @@
 // Õ(T+n) time) and once on n/2 channels (MultiCast: Õ(T/n) time). Multiple
 // channels buy a ~n× speedup without giving up energy competitiveness.
 //
+// The contenders come from the scenario registry ("duel"), so this
+// program, the E4 experiment table, and `mcast -scenario duel` all run
+// the same seed-paired pairing through the sweep API.
+//
 //	go run ./examples/duel
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"multicast"
+	"multicast/internal/runner"
 )
 
 func main() {
-	const (
-		n      = 128
-		budget = 100_000
-		trials = 3
-	)
+	const trials = 3
 
-	type contender struct {
-		label string
-		cfg   multicast.Config
+	scen, ok := multicast.ScenarioByName("duel")
+	if !ok {
+		log.Fatal("duel is not in the scenario registry")
 	}
-	contenders := []contender{
-		{"single-channel [GKPPSY14]", multicast.Config{N: n, Algorithm: multicast.AlgoSingleChannel}},
-		{"MultiCast (n/2 channels)", multicast.Config{N: n, Algorithm: multicast.AlgoMultiCast}},
+	points := multicast.ExpandScenario(scen, multicast.ScenarioOptions{Seed: 11})
+	labels := map[string]string{
+		"singlechannel": "single-channel [GKPPSY14]",
+		"multicast n/2": "MultiCast (n/2 channels)",
 	}
+	cols := make([]*runner.Collector, len(points))
+	cfgs := make([]multicast.Config, len(points))
+	for i, p := range points {
+		cols[i] = runner.NewCollector()
+		cfgs[i] = p.Config
+	}
+	n, budget := cfgs[0].N, cfgs[0].Budget
 
-	fmt.Printf("broadcast duel: %d nodes, full-burst jammer, T = %d, %d trials\n\n", n, budget, trials)
+	fmt.Printf("broadcast duel: %d nodes, full-burst jammer, T = %d, %d trials (scenario %s)\n\n",
+		n, budget, trials, scen.Name)
 	fmt.Printf("%-28s  %12s  %14s  %12s\n", "algorithm", "slots", "max node cost", "Eve spent")
 
-	var slots [2]float64
-	var costs [2]float64
-	for i, c := range contenders {
-		c.cfg.Adversary = multicast.FullBurstJammer(0)
-		c.cfg.Budget = budget
-		c.cfg.Seed = 11
-		ms, err := multicast.RunTrials(c.cfg, trials)
-		if err != nil {
-			log.Fatal(err)
+	err := multicast.RunSweepContext(context.Background(), cfgs,
+		multicast.SweepPlan{Trials: trials},
+		func(p, t int, m multicast.Metrics) error { return cols[p].Add(t, m) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	var slots, costs []float64
+	for i, p := range points {
+		label := labels[p.Label]
+		if label == "" {
+			label = p.Label
 		}
-		var eve float64
-		for _, m := range ms {
-			slots[i] += float64(m.Slots)
-			costs[i] += float64(m.MaxNodeEnergy)
-			eve += float64(m.EveEnergy)
-		}
-		slots[i] /= trials
-		costs[i] /= trials
-		eve /= trials
-		fmt.Printf("%-28s  %12.0f  %14.0f  %12.0f\n", c.label, slots[i], costs[i], eve)
+		slots = append(slots, cols[i].Slots().Mean)
+		costs = append(costs, cols[i].MaxEnergy().Mean)
+		fmt.Printf("%-28s  %12.0f  %14.0f  %12.0f\n",
+			label, cols[i].Slots().Mean, cols[i].MaxEnergy().Mean, cols[i].EveEnergy().Mean)
 	}
 
 	fmt.Println()

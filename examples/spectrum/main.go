@@ -4,6 +4,12 @@
 // energy stays put (Corollary 7.1) — "the more channels we have, the
 // faster we can be".
 //
+// The C ladder comes from the scenario registry ("channel-ladder"), so
+// this program, the E6/E12 experiment tables, and `mcast -scenario
+// channel-ladder` all sweep the same points; the sweep API streams every
+// (point × trial) cell without buffering and could split the same grid
+// across machines with a SweepPlan Shard.
+//
 //	go run ./examples/spectrum
 package main
 
@@ -13,46 +19,44 @@ import (
 	"log"
 
 	"multicast"
+	"multicast/internal/runner"
 )
 
 func main() {
-	const (
-		n      = 256
-		budget = 200_000
-		trials = 3
-	)
+	const trials = 3
 
-	fmt.Printf("MultiCast(C) on %d nodes, full-burst jammer with T = %d\n\n", n, budget)
+	scen, ok := multicast.ScenarioByName("channel-ladder")
+	if !ok {
+		log.Fatal("channel-ladder is not in the scenario registry")
+	}
+	points := multicast.ExpandScenario(scen, multicast.ScenarioOptions{Seed: 7})
+	cols := make([]*runner.Collector, len(points))
+	cfgs := make([]multicast.Config, len(points))
+	for i, p := range points {
+		cols[i] = runner.NewCollector()
+		cfgs[i] = p.Config
+	}
+	n, budget := cfgs[0].N, cfgs[0].Budget
+
+	fmt.Printf("MultiCast(C) on %d nodes, full-burst jammer with T = %d (scenario %s)\n\n",
+		n, budget, scen.Name)
 	fmt.Printf("%9s  %12s  %10s  %14s\n", "channels", "slots", "T/C", "max node cost")
 
-	// The streaming trial API: metrics arrive in seed order as each trial
-	// completes, so nothing is buffered no matter how many trials run —
-	// the idiomatic shape for statistical campaigns. (Add a TrialPlan
-	// Shard to split the same seeded batch across machines.)
-	ctx := context.Background()
-	for _, c := range []int{2, 4, 16, 64, 128} {
-		var slots, cost float64
-		err := multicast.RunTrialsContext(ctx, multicast.Config{
-			N:         n,
-			Algorithm: multicast.AlgoMultiCastC,
-			Channels:  c,
-			Adversary: multicast.FullBurstJammer(0),
-			Budget:    budget,
-			Seed:      7,
-		}, multicast.TrialPlan{Trials: trials}, func(_ int, m multicast.Metrics) error {
+	err := multicast.RunSweepContext(context.Background(), cfgs,
+		multicast.SweepPlan{Trials: trials},
+		func(p, t int, m multicast.Metrics) error {
 			if m.Invariants.Any() {
-				return fmt.Errorf("C=%d: invariant violation %+v", c, m.Invariants)
+				return fmt.Errorf("%s: invariant violation %+v", points[p].Label, m.Invariants)
 			}
-			slots += float64(m.Slots)
-			cost += float64(m.MaxNodeEnergy)
-			return nil
+			return cols[p].Add(t, m)
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		slots /= trials
-		cost /= trials
-		fmt.Printf("%9d  %12.0f  %10d  %14.0f\n", c, slots, budget/int64(c), cost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range points {
+		c := int64(p.Config.Channels)
+		fmt.Printf("%9d  %12.0f  %10d  %14.0f\n",
+			c, cols[i].Slots().Mean, budget/c, cols[i].MaxEnergy().Mean)
 	}
 
 	fmt.Println()

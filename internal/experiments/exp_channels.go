@@ -3,10 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"multicast/internal/adversary"
-	"multicast/internal/core"
-	"multicast/internal/protocol"
-	"multicast/internal/sim"
+	"multicast/internal/scenario"
 	"multicast/internal/stats"
 )
 
@@ -25,38 +22,32 @@ func init() {
 	})
 }
 
-// sweepChannels runs MultiCast(C) over a C sweep under a full-burst jammer.
-func sweepChannels(cfg RunConfig, n int, budget int64, chans []int, trials int) ([]point, error) {
-	points := make([]point, len(chans))
-	for ci, c := range chans {
-		cc := c
-		p, err := cfg.measure(sim.Config{
-			N: n,
-			Algorithm: func() (protocol.Algorithm, error) {
-				return core.NewMultiCastC(core.Sim(), n, cc)
-			},
-			Adversary: adversary.FullBurst(0),
-			Budget:    budget,
-			Seed:      cfg.Seed + uint64(ci)*6151,
-			MaxSlots:  1 << 26,
-		}, trials)
-		if err != nil {
-			return nil, err
-		}
-		points[ci] = p
+// channelLadder expands the channel-ladder registry scenario — the
+// experiments measure the same C points that `mcast -scenario
+// channel-ladder` and examples/spectrum sweep.
+func channelLadder(cfg RunConfig, n int, budget int64) ([]scenario.Point, []int, error) {
+	pts, err := expand("channel-ladder", scenario.Options{
+		N: n, Budget: budget, Seed: cfg.Seed, Quick: cfg.Quick,
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return points, nil
+	chans := make([]int, len(pts))
+	for i, p := range pts {
+		chans[i] = p.Config.Channels
+	}
+	return pts, chans, nil
 }
 
 func runE6(cfg RunConfig) (Result, error) {
 	const n = 256
 	const budget = int64(200_000)
-	chans := []int{2, 8, 32, 128}
 	trials := defaultTrials(cfg, 5, 2)
-	if cfg.Quick {
-		chans = []int{8, 64}
+	pts, chans, err := channelLadder(cfg, n, budget)
+	if err != nil {
+		return Result{}, err
 	}
-	points, err := sweepChannels(cfg, n, budget, chans, trials)
+	points, err := cfg.measurePoints(pts, trials)
 	if err != nil {
 		return Result{}, err
 	}
@@ -100,17 +91,24 @@ func runE6(cfg RunConfig) (Result, error) {
 func runE12(cfg RunConfig) (Result, error) {
 	const n = 256
 	const budget = int64(200_000)
-	chans := []int{2, 8, 32, 128}
 	trials := defaultTrials(cfg, 5, 2)
-	if cfg.Quick {
-		chans = []int{8, 64}
-	}
-	points, err := sweepChannels(cfg, n, budget, chans, trials)
+	pts, chans, err := channelLadder(cfg, n, budget)
 	if err != nil {
 		return Result{}, err
 	}
-	// Jam-free floor: the (n/C)·polylog term, measured with T = 0.
-	floors, err := sweepChannels(cfg, n, 0, chans, trials)
+	points, err := cfg.measurePoints(pts, trials)
+	if err != nil {
+		return Result{}, err
+	}
+	// Jam-free floor: the (n/C)·polylog term, measured with T = 0. The
+	// scenario points are plain data, so the floor is the same ladder
+	// with the budget zeroed.
+	floorPts := make([]scenario.Point, len(pts))
+	for i, p := range pts {
+		floorPts[i] = p
+		floorPts[i].Config.Budget = 0
+	}
+	floors, err := cfg.measurePoints(floorPts, trials)
 	if err != nil {
 		return Result{}, err
 	}

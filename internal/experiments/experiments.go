@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"multicast/internal/runner"
+	"multicast/internal/scenario"
 	"multicast/internal/sim"
 	"multicast/internal/stats"
 )
@@ -136,6 +137,39 @@ func (rc RunConfig) measure(sc sim.Config, trials int) (point, error) {
 		AllInformed: col.AllInformed(),
 		Invariants:  col.Invariants(),
 	}, nil
+}
+
+// expand pulls a named workload grid out of the scenario registry —
+// experiments that sweep a standard axis (channel counts, algorithm
+// duels) enumerate through the registry so the experiment tables, the
+// CLIs, and the examples measure the same points.
+func expand(name string, opts scenario.Options) ([]scenario.Point, error) {
+	s, ok := scenario.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: scenario %q missing from the registry", name)
+	}
+	pts := s.Points(opts)
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("experiments: scenario %q expanded to zero points", name)
+	}
+	return pts, nil
+}
+
+// measurePoints measures every workload point of an expanded scenario.
+func (rc RunConfig) measurePoints(pts []scenario.Point, trials int) ([]point, error) {
+	out := make([]point, len(pts))
+	for i, p := range pts {
+		sc, err := p.Config.Build()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: point %s: %w", p.Label, err)
+		}
+		m, err := rc.measure(sc, trials)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: point %s: %w", p.Label, err)
+		}
+		out[i] = m
+	}
+	return out, nil
 }
 
 // defaultTrials resolves the trial count.

@@ -18,6 +18,15 @@
 // the context is cancelled, queued trials are never started, and
 // in-flight executions are interrupted via sim.Config.Interrupt. Nothing
 // drains the queue after a failure.
+//
+// RunSweep lifts the same contract one level up, to multi-point
+// experiment sweeps: the full (point × trial) grid is flattened into a
+// single global index space (g = point·Trials + trial, cell seed =
+// point's Seed + trial) and sharded across machines by g mod k, so a
+// sweep sharded k ways and merged per point is bit-identical to the
+// unsharded sweep. Both entry points share one worker-pool core
+// (runGrid), so in-order delivery, cancellation, and first-error
+// semantics are identical.
 package runner
 
 import (
@@ -81,18 +90,49 @@ func Run(ctx context.Context, cfg sim.Config, plan Plan, sink Sink) error {
 	if plan.Trials <= 0 {
 		return fmt.Errorf("runner: trials = %d must be positive", plan.Trials)
 	}
-	shard, err := plan.Shard.normalize()
+	return runGrid(ctx, plan.Trials, plan.Shard, plan.Workers,
+		func(done <-chan struct{}, t int) result {
+			c := cfg
+			c.Interrupt = done
+			c.Seed = cfg.Seed + uint64(t)
+			m, err := sim.Run(c)
+			return result{m: m, err: err}
+		},
+		func(t int, r result) error {
+			if r.err != nil {
+				// An interrupt caused by the surrounding cancellation is
+				// the context's error, not the trial's.
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return fmt.Errorf("runner: trial %d (seed %d): %w", t, cfg.Seed+uint64(t), r.err)
+			}
+			return sink(t, r.m)
+		})
+}
+
+// runGrid is the shared execution core of Run and RunSweep: it walks the
+// global index space [0, total), restricted to this shard's slice
+// (idx ≡ shard.Index mod shard.Count), fans indices out over a worker
+// pool, and hands each result to deliver in ascending index order. exec
+// receives the cancellation channel to wire into sim.Config.Interrupt;
+// deliver owns error translation and the sink call, and its first error
+// (in index order) cancels all outstanding work.
+func runGrid(ctx context.Context, total int, reqShard Shard, reqWorkers int,
+	exec func(done <-chan struct{}, idx int) result,
+	deliver func(idx int, r result) error) error {
+	shard, err := reqShard.normalize()
 	if err != nil {
 		return err
 	}
-	local := 0 // trials on this shard
-	if plan.Trials > shard.Index {
-		local = (plan.Trials - shard.Index + shard.Count - 1) / shard.Count
+	local := 0 // grid cells on this shard
+	if total > shard.Index {
+		local = (total - shard.Index + shard.Count - 1) / shard.Count
 	}
 	if local == 0 {
 		return ctx.Err()
 	}
-	workers := plan.Workers
+	workers := reqWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -102,35 +142,17 @@ func Run(ctx context.Context, cfg sim.Config, plan Plan, sink Sink) error {
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	runCfg := cfg
-	runCfg.Interrupt = runCtx.Done()
+	done := runCtx.Done()
 
-	runOne := func(t int) result {
-		c := runCfg
-		c.Seed = cfg.Seed + uint64(t)
-		m, err := sim.Run(c)
-		return result{m: m, err: err}
-	}
-	// deliver hands one in-order result to the sink, translating errors.
-	deliver := func(t int, r result) error {
-		if r.err != nil {
-			// An interrupt caused by the surrounding cancellation is the
-			// context's error, not the trial's.
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			return fmt.Errorf("runner: trial %d (seed %d): %w", t, cfg.Seed+uint64(t), r.err)
-		}
-		return sink(t, r.m)
-	}
+	runOne := func(idx int) result { return exec(done, idx) }
 
 	if workers == 1 {
 		// Serial fast path: no goroutines, same semantics.
-		for t := shard.Index; t < plan.Trials; t += shard.Count {
+		for idx := shard.Index; idx < total; idx += shard.Count {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := deliver(t, runOne(t)); err != nil {
+			if err := deliver(idx, runOne(idx)); err != nil {
 				return err
 			}
 		}
@@ -138,13 +160,13 @@ func Run(ctx context.Context, cfg sim.Config, plan Plan, sink Sink) error {
 	}
 
 	type job struct {
-		t   int
+		idx int
 		out chan result
 	}
 	jobs := make(chan job)
-	// futures carries each trial's result slot in dispatch (= trial)
+	// futures carries each cell's result slot in dispatch (= index)
 	// order; its capacity bounds how far workers run ahead of the
-	// in-order emitter, so reorder memory is O(workers), not O(trials).
+	// in-order emitter, so reorder memory is O(workers), not O(total).
 	futures := make(chan chan result, workers)
 
 	var wg sync.WaitGroup
@@ -153,14 +175,14 @@ func Run(ctx context.Context, cfg sim.Config, plan Plan, sink Sink) error {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				j.out <- runOne(j.t) // buffered: never blocks
+				j.out <- runOne(j.idx) // buffered: never blocks
 			}
 		}()
 	}
 	go func() {
 		defer close(jobs)
 		defer close(futures)
-		for t := shard.Index; t < plan.Trials; t += shard.Count {
+		for idx := shard.Index; idx < total; idx += shard.Count {
 			out := make(chan result, 1)
 			select {
 			case futures <- out:
@@ -168,14 +190,14 @@ func Run(ctx context.Context, cfg sim.Config, plan Plan, sink Sink) error {
 				return
 			}
 			select {
-			case jobs <- job{t: t, out: out}:
+			case jobs <- job{idx: idx, out: out}:
 			case <-runCtx.Done():
 				return
 			}
 		}
 	}()
 
-	t := shard.Index
+	next := shard.Index
 	var firstErr error
 	for out := range futures {
 		if firstErr != nil {
@@ -192,12 +214,12 @@ func Run(ctx context.Context, cfg sim.Config, plan Plan, sink Sink) error {
 			cancel()
 			continue
 		}
-		if err := deliver(t, r); err != nil {
+		if err := deliver(next, r); err != nil {
 			firstErr = err
 			cancel()
 			continue
 		}
-		t += shard.Count
+		next += shard.Count
 	}
 	cancel()
 	wg.Wait()

@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"multicast/internal/adversary"
+	"multicast/internal/core"
+	"multicast/internal/protocol"
+	"multicast/internal/sim"
+	"multicast/internal/singlechan"
+)
+
+// Algorithm names, shared with the public multicast.AlgorithmKind
+// constants (this package owns the canonical list so the registry, the
+// experiments, and the public API cannot drift apart).
+const (
+	AlgoMultiCastCore = "multicastcore"
+	AlgoMultiCast     = "multicast"
+	AlgoMultiCastC    = "multicast-c"
+	AlgoMultiCastAdv  = "multicastadv"
+	AlgoMultiCastAdvC = "multicastadv-c"
+	AlgoSingleChannel = "singlechannel"
+)
+
+// AlgorithmNames lists every selectable algorithm in presentation order.
+func AlgorithmNames() []string {
+	return []string{
+		AlgoMultiCastCore, AlgoMultiCast, AlgoMultiCastC,
+		AlgoMultiCastAdv, AlgoMultiCastAdvC, AlgoSingleChannel,
+	}
+}
+
+// NormalizeAlgorithm resolves a case-insensitive algorithm name to its
+// canonical form.
+func NormalizeAlgorithm(s string) (string, error) {
+	for _, k := range AlgorithmNames() {
+		if strings.EqualFold(k, s) {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("multicast: unknown algorithm %q (have %v)", s, AlgorithmNames())
+}
+
+// Config is the workload description a scenario point expands to: the
+// internal mirror of the public multicast.Config, minus instrumentation
+// (Observer, Engine), which callers attach after Build. Zero values mean
+// the same defaults as the public type: empty Algorithm is MultiCast,
+// zero Params is the Sim preset, zero KnownT is Budget.
+type Config struct {
+	// N is the number of nodes (a power of two ≥ 2; node 0 is the source).
+	N int
+	// Algorithm names the protocol (see the Algo* constants); empty means
+	// AlgoMultiCast.
+	Algorithm string
+	// Params are the algorithm constants; the zero value means core.Sim().
+	Params core.Params
+	// KnownT is the T input of MultiCastCore (ignored by the others);
+	// zero defaults to Budget.
+	KnownT int64
+	// Channels is the physical channel count for the (C) variants.
+	Channels int
+	// Adversary is Eve's strategy; nil means no jamming.
+	Adversary adversary.Factory
+	// Budget is Eve's energy budget T.
+	Budget int64
+	// Seed determines all randomness; trial t of a batch runs with
+	// Seed + t (the runner's seed-by-trial-index contract).
+	Seed uint64
+	// MaxSlots aborts runaway executions (0 = engine default).
+	MaxSlots int64
+}
+
+// Build resolves the workload into an engine config. The algorithm
+// switch lives here — the public multicast.Config and every registry
+// scenario funnel through this one resolver.
+func (cfg Config) Build() (sim.Config, error) {
+	params := cfg.Params
+	if params == (core.Params{}) {
+		params = core.Sim()
+	}
+	kind := cfg.Algorithm
+	if kind == "" {
+		kind = AlgoMultiCast
+	}
+	knownT := cfg.KnownT
+	if knownT == 0 {
+		knownT = cfg.Budget
+	}
+	n := cfg.N
+
+	var builder func() (protocol.Algorithm, error)
+	switch kind {
+	case AlgoMultiCastCore:
+		builder = func() (protocol.Algorithm, error) { return core.NewMultiCastCore(params, n, knownT) }
+	case AlgoMultiCast:
+		builder = func() (protocol.Algorithm, error) { return core.NewMultiCast(params, n) }
+	case AlgoMultiCastC:
+		if cfg.Channels < 1 {
+			return sim.Config{}, fmt.Errorf("multicast: %s needs Channels ≥ 1", kind)
+		}
+		builder = func() (protocol.Algorithm, error) { return core.NewMultiCastC(params, n, cfg.Channels) }
+	case AlgoMultiCastAdv:
+		builder = func() (protocol.Algorithm, error) { return core.NewMultiCastAdv(params) }
+	case AlgoMultiCastAdvC:
+		if cfg.Channels < 1 {
+			return sim.Config{}, fmt.Errorf("multicast: %s needs Channels ≥ 1", kind)
+		}
+		builder = func() (protocol.Algorithm, error) { return core.NewMultiCastAdvC(params, cfg.Channels) }
+	case AlgoSingleChannel:
+		builder = func() (protocol.Algorithm, error) {
+			return singlechan.New(singlechan.DefaultParams(), n)
+		}
+	default:
+		return sim.Config{}, fmt.Errorf("multicast: unknown algorithm %q", kind)
+	}
+
+	return sim.Config{
+		N:         cfg.N,
+		Algorithm: builder,
+		Adversary: cfg.Adversary,
+		Budget:    cfg.Budget,
+		Seed:      cfg.Seed,
+		MaxSlots:  cfg.MaxSlots,
+	}, nil
+}
+
+// Describe renders the workload identity as a flat, human-readable
+// string: the fields that determine trial outcomes, in a fixed order.
+// Two points with equal Describe strings run the same executions, so
+// shard-merge tooling uses it to refuse mixing different campaigns.
+func (cfg Config) Describe() string {
+	alg := cfg.Algorithm
+	if alg == "" {
+		alg = AlgoMultiCast
+	}
+	adv := "none"
+	if cfg.Adversary != nil {
+		adv = cfg.Adversary.Name()
+	}
+	params := "sim"
+	if cfg.Params != (core.Params{}) && cfg.Params != core.Sim() {
+		params = fmt.Sprintf("%v", cfg.Params)
+	}
+	return fmt.Sprintf("%s n=%d channels=%d adv=%s budget=%d known-t=%d max-slots=%d seed=%d params=%s",
+		alg, cfg.N, cfg.Channels, adv, cfg.Budget, cfg.KnownT, cfg.MaxSlots, cfg.Seed, params)
+}

@@ -1,6 +1,17 @@
 // Package stats aggregates per-trial metrics into summaries and provides
 // the log-log slope fits the experiment harness uses to compare measured
 // scaling exponents with the paper's theorems.
+//
+// The cross-machine merge guarantees of the trial and sweep layers rest
+// on Accumulator's determinism contract: while an accumulator's total
+// count stays within its sample cap (DefaultSampleCap unless overridden)
+// its Summary is a pure function of the sample multiset — bit-identical
+// however the samples were ordered, partitioned across machines, or
+// merged. Above the cap the summary is a documented approximation:
+// count, min, max stay exact, mean/std come from merged Welford state,
+// and quantiles are computed from the retained sample subset. Campaign
+// tooling (internal/runner.Collector, cmd/mcast -merge) inherits exactly
+// these semantics.
 package stats
 
 import (

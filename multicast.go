@@ -2,15 +2,12 @@ package multicast
 
 import (
 	"context"
-	"fmt"
-	"strings"
 
 	"multicast/internal/adversary"
 	"multicast/internal/core"
-	"multicast/internal/protocol"
 	"multicast/internal/runner"
+	"multicast/internal/scenario"
 	"multicast/internal/sim"
-	"multicast/internal/singlechan"
 )
 
 // Params are the algorithm constants; see SimParams and PaperParams.
@@ -75,22 +72,21 @@ const (
 	AlgoSingleChannel AlgorithmKind = "singlechannel"
 )
 
-// Algorithms lists every selectable kind.
+// Algorithms lists every selectable kind. The canonical list lives in
+// internal/scenario, which the workload registry shares.
 func Algorithms() []AlgorithmKind {
-	return []AlgorithmKind{
-		AlgoMultiCastCore, AlgoMultiCast, AlgoMultiCastC,
-		AlgoMultiCastAdv, AlgoMultiCastAdvC, AlgoSingleChannel,
+	names := scenario.AlgorithmNames()
+	kinds := make([]AlgorithmKind, len(names))
+	for i, n := range names {
+		kinds[i] = AlgorithmKind(n)
 	}
+	return kinds
 }
 
 // ParseAlgorithm resolves a name (case-insensitive) to an AlgorithmKind.
 func ParseAlgorithm(s string) (AlgorithmKind, error) {
-	for _, k := range Algorithms() {
-		if strings.EqualFold(string(k), s) {
-			return k, nil
-		}
-	}
-	return "", fmt.Errorf("multicast: unknown algorithm %q (have %v)", s, Algorithms())
+	name, err := scenario.NormalizeAlgorithm(s)
+	return AlgorithmKind(name), err
 }
 
 // Config describes an execution.
@@ -120,58 +116,34 @@ type Config struct {
 	Engine Engine
 }
 
-// build resolves the Config into an engine config.
-func (cfg Config) build() (sim.Config, error) {
-	params := cfg.Params
-	if params == (Params{}) {
-		params = core.Sim()
-	}
-	kind := cfg.Algorithm
-	if kind == "" {
-		kind = AlgoMultiCast
-	}
-	knownT := cfg.KnownT
-	if knownT == 0 {
-		knownT = cfg.Budget
-	}
-	n := cfg.N
-
-	var builder func() (protocol.Algorithm, error)
-	switch kind {
-	case AlgoMultiCastCore:
-		builder = func() (protocol.Algorithm, error) { return core.NewMultiCastCore(params, n, knownT) }
-	case AlgoMultiCast:
-		builder = func() (protocol.Algorithm, error) { return core.NewMultiCast(params, n) }
-	case AlgoMultiCastC:
-		if cfg.Channels < 1 {
-			return sim.Config{}, fmt.Errorf("multicast: %s needs Channels ≥ 1", kind)
-		}
-		builder = func() (protocol.Algorithm, error) { return core.NewMultiCastC(params, n, cfg.Channels) }
-	case AlgoMultiCastAdv:
-		builder = func() (protocol.Algorithm, error) { return core.NewMultiCastAdv(params) }
-	case AlgoMultiCastAdvC:
-		if cfg.Channels < 1 {
-			return sim.Config{}, fmt.Errorf("multicast: %s needs Channels ≥ 1", kind)
-		}
-		builder = func() (protocol.Algorithm, error) { return core.NewMultiCastAdvC(params, cfg.Channels) }
-	case AlgoSingleChannel:
-		builder = func() (protocol.Algorithm, error) {
-			return singlechan.New(singlechan.DefaultParams(), n)
-		}
-	default:
-		return sim.Config{}, fmt.Errorf("multicast: unknown algorithm %q", kind)
-	}
-
-	return sim.Config{
+// workload converts the public Config to the internal workload
+// description shared with the scenario registry.
+func (cfg Config) workload() scenario.Config {
+	return scenario.Config{
 		N:         cfg.N,
-		Algorithm: builder,
+		Algorithm: string(cfg.Algorithm),
+		Params:    cfg.Params,
+		KnownT:    cfg.KnownT,
+		Channels:  cfg.Channels,
 		Adversary: cfg.Adversary,
 		Budget:    cfg.Budget,
 		Seed:      cfg.Seed,
 		MaxSlots:  cfg.MaxSlots,
-		Observer:  cfg.Observer,
-		Engine:    cfg.Engine,
-	}, nil
+	}
+}
+
+// build resolves the Config into an engine config. Workload resolution
+// (algorithm switch, parameter defaults) lives in internal/scenario so
+// the public API and the scenario registry cannot drift; only the
+// instrumentation knobs (Observer, Engine) are attached here.
+func (cfg Config) build() (sim.Config, error) {
+	sc, err := cfg.workload().Build()
+	if err != nil {
+		return sim.Config{}, err
+	}
+	sc.Observer = cfg.Observer
+	sc.Engine = cfg.Engine
+	return sc, nil
 }
 
 // Run executes one broadcast to completion and returns its metrics.

@@ -1,0 +1,116 @@
+package multicast
+
+import (
+	"context"
+
+	"multicast/internal/runner"
+	"multicast/internal/scenario"
+	"multicast/internal/sim"
+)
+
+// Scenario is a named, parameterized workload generator from the
+// scenario registry: it expands into a list of concrete workload points
+// which RunSweepContext can execute — and shard across machines — as one
+// deterministic sweep. Use Scenarios and ScenarioByName to enumerate the
+// registry, and ExpandScenario to obtain runnable Configs.
+type Scenario = scenario.Scenario
+
+// ScenarioOptions parameterize a scenario expansion (population and
+// budget overrides, base seed, quick point lists). The zero value asks
+// for every scenario's defaults.
+type ScenarioOptions = scenario.Options
+
+// ScenarioPoint is one concrete workload of an expanded scenario.
+type ScenarioPoint struct {
+	// Label distinguishes the point within the sweep (e.g. "C=8");
+	// labels are unique within a scenario.
+	Label string
+	// Config is the runnable workload.
+	Config Config
+}
+
+// Scenarios returns every registered scenario sorted by name. The
+// built-in catalog covers density spectra, channel and population
+// ladders, the jammer gauntlet, the paper's α regimes, the engine
+// benchmark grid, and the single-vs-multi-channel duel; see
+// docs/OPERATIONS.md for the catalog table.
+func Scenarios() []Scenario { return scenario.All() }
+
+// ScenarioByName finds one scenario (case-insensitive), e.g. "duel".
+func ScenarioByName(name string) (Scenario, bool) { return scenario.Get(name) }
+
+// ExpandScenario expands a scenario into runnable workload points.
+// Expansion is pure: the result depends only on (scenario, opts), and
+// every point's Config carries opts.Seed as its base seed, so two
+// machines expanding the same scenario see the same sweep.
+func ExpandScenario(s Scenario, opts ScenarioOptions) []ScenarioPoint {
+	raw := s.Points(opts)
+	pts := make([]ScenarioPoint, len(raw))
+	for i, p := range raw {
+		pts[i] = ScenarioPoint{
+			Label: p.Label,
+			Config: Config{
+				N:         p.Config.N,
+				Algorithm: AlgorithmKind(p.Config.Algorithm),
+				Params:    p.Config.Params,
+				KnownT:    p.Config.KnownT,
+				Channels:  p.Config.Channels,
+				Adversary: p.Config.Adversary,
+				Budget:    p.Config.Budget,
+				Seed:      p.Config.Seed,
+				MaxSlots:  p.Config.MaxSlots,
+			},
+		}
+	}
+	return pts
+}
+
+// Describe renders the workload identity of a Config as a flat string:
+// every field that determines trial outcomes, in a fixed order
+// (instrumentation — Observer, Engine — is deliberately excluded; it
+// must not change results). Two Configs with equal Describe strings run
+// the same executions, so shard-merge tooling uses it to refuse
+// combining artifacts from different campaigns.
+func (cfg Config) Describe() string { return cfg.workload().Describe() }
+
+// SweepPlan describes a multi-point sweep for RunSweepContext: Trials
+// executions of every point, flattened into one global (point × trial)
+// grid. Shard selects this machine's slice of that grid (global indices
+// g ≡ Shard.Index mod Shard.Count, g = point·Trials + trial); the zero
+// value runs the whole sweep. Workers caps the worker pool (0 =
+// GOMAXPROCS).
+type SweepPlan struct {
+	Trials  int
+	Shard   Shard
+	Workers int
+}
+
+// SweepSink consumes one sweep cell's metrics. It is called from a
+// single goroutine in ascending global-index order; returning an error
+// aborts the sweep.
+type SweepSink func(point, trial int, m Metrics) error
+
+// RunSweepContext executes a multi-point sweep: Trials independently
+// seeded executions of every point, streamed to sink. It lifts the
+// trial-layer determinism contract to whole sweeps — cell (p, t) always
+// runs with seed points[p].Seed + t, exactly as it would if point p ran
+// alone through RunTrialsContext, and sharding only decides which
+// machine executes a cell. A sweep sharded k ways and merged per point
+// is therefore bit-identical to the unsharded sweep (within the summary
+// accumulators' sample cap; see cmd/mcast -scenario/-merge for the
+// cross-machine artifact flow and docs/OPERATIONS.md for the playbook).
+func RunSweepContext(ctx context.Context, points []Config, plan SweepPlan, sink SweepSink) error {
+	built := make([]sim.Config, len(points))
+	for i, p := range points {
+		sc, err := p.build()
+		if err != nil {
+			return err
+		}
+		built[i] = sc
+	}
+	return runner.RunSweep(ctx, built, runner.SweepPlan{
+		Trials:  plan.Trials,
+		Shard:   runner.Shard(plan.Shard),
+		Workers: plan.Workers,
+	}, runner.SweepSink(sink))
+}

@@ -1,0 +1,106 @@
+package multicast_test
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"multicast"
+)
+
+// Every registered scenario must be described in the operator docs —
+// an undocumented scenario fails here (and in the CI docs check), not
+// in front of a user.
+func TestScenariosDocumented(t *testing.T) {
+	docs, err := os.ReadFile("docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("reading operator docs: %v", err)
+	}
+	for _, s := range multicast.Scenarios() {
+		if !strings.Contains(string(docs), "`"+s.Name+"`") {
+			t.Errorf("scenario %q is not described in docs/OPERATIONS.md", s.Name)
+		}
+	}
+}
+
+// The registry round-trips through the public API: every scenario is
+// findable by name and expands to buildable, runnable configurations.
+func TestScenarioPublicAPI(t *testing.T) {
+	all := multicast.Scenarios()
+	if len(all) == 0 {
+		t.Fatal("no scenarios registered")
+	}
+	for _, s := range all {
+		got, ok := multicast.ScenarioByName(strings.ToUpper(s.Name))
+		if !ok || got.Name != s.Name {
+			t.Errorf("ScenarioByName(%q) failed", s.Name)
+		}
+		pts := multicast.ExpandScenario(s, multicast.ScenarioOptions{Seed: 3, Quick: true})
+		if len(pts) == 0 {
+			t.Errorf("%s: zero points", s.Name)
+		}
+		for _, p := range pts {
+			if p.Config.Seed != 3 {
+				t.Errorf("%s %s: base seed not propagated", s.Name, p.Label)
+			}
+			if p.Config.Describe() == "" {
+				t.Errorf("%s %s: empty workload identity", s.Name, p.Label)
+			}
+		}
+	}
+}
+
+// A public-API sweep sharded two ways covers exactly the unsharded
+// grid: the cells of the two shards partition the (point × trial)
+// cells and every cell's metrics are bit-identical to the unsharded
+// sweep's.
+func TestRunSweepContextShardPartition(t *testing.T) {
+	scen, ok := multicast.ScenarioByName("duel")
+	if !ok {
+		t.Fatal("duel not registered")
+	}
+	pts := multicast.ExpandScenario(scen, multicast.ScenarioOptions{N: 64, Budget: 10_000, Seed: 5})
+	cfgs := make([]multicast.Config, len(pts))
+	for i, p := range pts {
+		cfgs[i] = p.Config
+	}
+	const trials = 3
+	type cell struct{ p, t int }
+	whole := map[cell]multicast.Metrics{}
+	err := multicast.RunSweepContext(context.Background(), cfgs,
+		multicast.SweepPlan{Trials: trials},
+		func(p, tr int, m multicast.Metrics) error {
+			whole[cell{p, tr}] = m
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(whole) != len(cfgs)*trials {
+		t.Fatalf("unsharded sweep ran %d cells, want %d", len(whole), len(cfgs)*trials)
+	}
+	got := map[cell]multicast.Metrics{}
+	for i := 0; i < 2; i++ {
+		err := multicast.RunSweepContext(context.Background(), cfgs,
+			multicast.SweepPlan{Trials: trials, Shard: multicast.Shard{Index: i, Count: 2}, Workers: i + 1},
+			func(p, tr int, m multicast.Metrics) error {
+				if _, dup := got[cell{p, tr}]; dup {
+					t.Errorf("cell (%d,%d) ran on both shards", p, tr)
+				}
+				got[cell{p, tr}] = m
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	if len(got) != len(whole) {
+		t.Fatalf("shards covered %d cells, want %d", len(got), len(whole))
+	}
+	for c, m := range whole {
+		if got[c] != m {
+			t.Errorf("cell (%d,%d): sharded metrics diverge from unsharded sweep", c.p, c.t)
+		}
+	}
+}
