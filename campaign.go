@@ -1,0 +1,192 @@
+package multicast
+
+import (
+	"context"
+	"fmt"
+
+	"multicast/internal/campaign"
+	"multicast/internal/driver"
+	"multicast/internal/sim"
+)
+
+// Summary is the versioned, mergeable campaign artifact (schema-version
+// checked on read; see internal/campaign for the format). One schema
+// covers both campaign shapes: a scenario sweep carries its scenario
+// name and one point per sweep point; a single-workload campaign has an
+// empty scenario name and exactly one point. Merge rules refuse mixed
+// campaigns, missing or duplicate shards, and unknown schema versions.
+type Summary = campaign.Summary
+
+// SummaryPoint is one workload point's slice of a Summary.
+type SummaryPoint = campaign.Point
+
+// SummarySchemaVersion is the artifact schema this library reads and
+// writes; files with any other schema_version are refused by name.
+const SummarySchemaVersion = campaign.SchemaVersion
+
+// CampaignEvent is one per-shard progress notification from a driven
+// campaign. Events are delivered serially but interleave across shards.
+type CampaignEvent = driver.Event
+
+// Campaign progress event kinds (CampaignEvent.Kind).
+const (
+	// CampaignShardStart: a shard worker attempt begins (Done cells
+	// already checkpointed when resuming).
+	CampaignShardStart = driver.EventStart
+	// CampaignShardCell: a shard worker completed and checkpointed one
+	// grid cell.
+	CampaignShardCell = driver.EventCell
+	// CampaignShardDone: a shard's artifact is complete on disk.
+	CampaignShardDone = driver.EventShardDone
+	// CampaignShardRetry: a shard attempt failed and will be retried,
+	// resuming from its checkpoint.
+	CampaignShardRetry = driver.EventRetry
+)
+
+// CampaignPlan describes a driven campaign: the whole (point × trial)
+// grid split into Shards shard workers that run concurrently, each
+// checkpointing its progress at grid-cell granularity into Dir, with
+// failed shards retried (resuming at their next undone cell) up to
+// Retries times. The merged result is bit-identical to the unsharded
+// run's summary — shard count, worker counts, and interruptions never
+// change results, only who computes which cell when.
+type CampaignPlan struct {
+	// Trials is the trial count per point; trial t of point p runs with
+	// the point's seed + t (the runner's determinism contract).
+	Trials int
+	// Shards is k: shard i runs the grid cells g ≡ i (mod k). Zero
+	// means 1.
+	Shards int
+	// Workers caps each shard worker's trial pool; 0 divides GOMAXPROCS
+	// evenly across shards.
+	Workers int
+	// Retries is how many times a failed shard is relaunched (resuming
+	// from its checkpoint) before the campaign fails; 0 fails on the
+	// first error.
+	Retries int
+	// Dir is the campaign directory holding shard artifacts and
+	// checkpoints — the resume state. Required.
+	Dir string
+	// Resume continues a previously interrupted campaign in Dir:
+	// complete shard artifacts are kept, checkpointed shards resume at
+	// their next undone cell, and the final merge is unchanged. Without
+	// Resume, a Dir already holding campaign files is refused.
+	Resume bool
+	// CheckpointEvery is the number of grid cells between checkpoint
+	// flushes; 0 or 1 checkpoints after every cell.
+	CheckpointEvery int
+	// Engine selects the slot-loop engine for the expanded points of
+	// RunScenarioCampaign (identical results, like Workers). RunCampaign
+	// ignores it — Config.Engine governs there.
+	Engine Engine
+	// Progress, if non-nil, receives per-shard events.
+	Progress func(CampaignEvent)
+}
+
+func (p CampaignPlan) driverOptions() driver.Options {
+	return driver.Options{
+		Shards:          max(p.Shards, 1),
+		Workers:         p.Workers,
+		Retries:         p.Retries,
+		Dir:             p.Dir,
+		Resume:          p.Resume,
+		CheckpointEvery: p.CheckpointEvery,
+		Progress:        p.Progress,
+	}
+}
+
+// RunCampaign drives a single-workload campaign: Trials independently
+// seeded executions of cfg, sharded over CampaignPlan.Shards concurrent
+// workers with per-shard checkpointing, gathered and merged into the
+// final summary. It is the in-process equivalent of launching k
+// `mcast -shard i/k` runs and merging their artifacts — without
+// shelling out, and with crash recovery: cancel or kill it mid-run and
+// a second call with Resume set finishes from the checkpoints,
+// producing a summary bit-identical to an uninterrupted run's.
+func RunCampaign(ctx context.Context, cfg Config, plan CampaignPlan) (*Summary, error) {
+	sc, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	tmpl := NewSummary(cfg, plan.Trials)
+	return driver.Run(ctx, driver.Spec{
+		Template: tmpl,
+		Points:   []sim.Config{sc},
+		Trials:   plan.Trials,
+	}, plan.driverOptions())
+}
+
+// RunScenarioCampaign drives a scenario sweep as one campaign: the
+// scenario expands under opts exactly as RunSweepContext would run it,
+// and the flattened (point × trial) grid is sharded, checkpointed,
+// retried, and merged like RunCampaign. The merged per-point summaries
+// are bit-identical to the unsharded sweep's.
+func RunScenarioCampaign(ctx context.Context, scen Scenario, opts ScenarioOptions, plan CampaignPlan) (*Summary, error) {
+	points := ExpandScenario(scen, opts)
+	if len(points) == 0 {
+		return nil, fmt.Errorf("multicast: scenario %s expanded to zero points", scen.Name)
+	}
+	sims := make([]sim.Config, len(points))
+	for i, p := range points {
+		p.Config.Engine = plan.Engine
+		sc, err := p.Config.build()
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = sc
+	}
+	tmpl := NewScenarioSummary(scen, opts.Seed, plan.Trials, points)
+	return driver.Run(ctx, driver.Spec{
+		Template: tmpl,
+		Points:   sims,
+		Trials:   plan.Trials,
+	}, plan.driverOptions())
+}
+
+// NewSummary returns the empty, unsharded artifact skeleton of a
+// single-workload campaign of cfg: the campaign identity every shard
+// artifact and checkpoint of that campaign must match. RunCampaign and
+// `mcast -summary-out` both build on it, so their artifacts merge.
+func NewSummary(cfg Config, trials int) *Summary {
+	label := string(cfg.Algorithm)
+	if label == "" {
+		label = string(AlgoMultiCast)
+	}
+	return campaign.New("", cfg.Seed, trials, []campaign.Point{
+		{Label: label, Workload: cfg.Describe()},
+	})
+}
+
+// NewScenarioSummary returns the empty, unsharded artifact skeleton of
+// a scenario-sweep campaign over the given expanded points (seed is the
+// expansion's base seed, ScenarioOptions.Seed).
+func NewScenarioSummary(scen Scenario, seed uint64, trials int, points []ScenarioPoint) *Summary {
+	meta := make([]campaign.Point, len(points))
+	for i, p := range points {
+		meta[i] = campaign.Point{Label: p.Label, Workload: p.Config.Describe()}
+	}
+	return campaign.New(scen.Name, seed, trials, meta)
+}
+
+// ReadSummary loads and validates one campaign artifact, refusing
+// unknown schema versions by name.
+func ReadSummary(path string) (*Summary, error) { return campaign.Read(path) }
+
+// MergeSummaries combines the k shard summaries of one campaign into
+// its full summary, enforcing the exact-coverage rules: one campaign
+// identity, one k-way split, all k distinct shards present, full trial
+// coverage per point. It replaces shelling out to `mcast -merge` for
+// library users; the result is bit-identical to the unsharded run's
+// summary while per-point trial counts stay within the stats sample
+// cap.
+func MergeSummaries(sums []*Summary) (*Summary, error) {
+	in := make([]campaign.Input, len(sums))
+	for i, s := range sums {
+		in[i] = campaign.Input{Sum: s}
+	}
+	return campaign.Merge(in)
+}
+
+// MergeSummaryFiles reads the given artifact files and merges them like
+// MergeSummaries; error messages name the offending paths.
+func MergeSummaryFiles(paths []string) (*Summary, error) { return campaign.MergeFiles(paths) }

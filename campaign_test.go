@@ -1,0 +1,132 @@
+package multicast_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"multicast"
+)
+
+func campaignCfg() multicast.Config {
+	return multicast.Config{
+		N:         64,
+		Algorithm: multicast.AlgoMultiCast,
+		Adversary: multicast.RandomFractionJammer(0.5),
+		Budget:    20_000,
+		Seed:      9,
+	}
+}
+
+// A driven single-workload campaign must reproduce the streaming API's
+// metrics exactly, and its artifact must round-trip through the
+// file-merge path.
+func TestRunCampaignMatchesRunTrials(t *testing.T) {
+	cfg := campaignCfg()
+	const trials = 9
+
+	var slots []int64
+	err := multicast.RunTrialsContext(context.Background(), cfg,
+		multicast.TrialPlan{Trials: trials},
+		func(_ int, m multicast.Metrics) error { slots = append(slots, m.Slots); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantMean float64
+	for _, s := range slots {
+		wantMean += float64(s)
+	}
+	wantMean /= float64(len(slots))
+
+	sum, err := multicast.RunCampaign(context.Background(), cfg, multicast.CampaignPlan{
+		Trials: trials, Shards: 3, Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Single() || len(sum.Points) != 1 {
+		t.Fatalf("single-workload campaign produced %d points (scenario %q)", len(sum.Points), sum.Scenario)
+	}
+	col := sum.Points[0].Collector
+	if col.Trials() != trials {
+		t.Fatalf("campaign covered %d trials, want %d", col.Trials(), trials)
+	}
+	if got := col.Slots().Mean; got != wantMean {
+		t.Errorf("campaign slot mean %v != streaming mean %v", got, wantMean)
+	}
+}
+
+// Cancelling a driven scenario campaign mid-run and resuming it must
+// produce per-point summaries bit-identical to the uninterrupted run.
+func TestRunScenarioCampaignCancelResume(t *testing.T) {
+	scen, ok := multicast.ScenarioByName("duel")
+	if !ok {
+		t.Fatal("duel scenario missing")
+	}
+	opts := multicast.ScenarioOptions{Seed: 9, N: 32, Budget: 10_000}
+	plan := multicast.CampaignPlan{Trials: 5, Shards: 2, Dir: t.TempDir()}
+
+	whole, err := multicast.RunScenarioCampaign(context.Background(), scen, opts,
+		multicast.CampaignPlan{Trials: plan.Trials, Shards: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the campaign after a few cells, then resume it.
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	interrupted := plan
+	interrupted.Progress = func(ev multicast.CampaignEvent) {
+		if ev.Kind == multicast.CampaignShardCell && ev.Done >= 2 {
+			once.Do(cancel)
+		}
+	}
+	_, err = multicast.RunScenarioCampaign(ctx, scen, opts, interrupted)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted campaign: err = %v, want context.Canceled", err)
+	}
+
+	resumed := plan
+	resumed.Resume = true
+	sum, err := multicast.RunScenarioCampaign(context.Background(), scen, opts, resumed)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if sum.Identity() != whole.Identity() {
+		t.Fatalf("identity diverged:\n got %q\nwant %q", sum.Identity(), whole.Identity())
+	}
+	for p := range whole.Points {
+		g, w := sum.Points[p].Collector, whole.Points[p].Collector
+		if g.Trials() != w.Trials() || g.Slots() != w.Slots() || g.EveEnergy() != w.EveEnergy() {
+			t.Errorf("point %d (%s): resumed summaries diverge from the uninterrupted run",
+				p, whole.Points[p].Label)
+		}
+	}
+}
+
+// MergeSummaries must enforce the exact-coverage rules at the public
+// surface too.
+func TestMergeSummariesRefusesMixedCampaigns(t *testing.T) {
+	cfg := campaignCfg()
+	run := func(seed uint64) *multicast.Summary {
+		c := cfg
+		c.Seed = seed
+		s, err := multicast.RunCampaign(context.Background(), c, multicast.CampaignPlan{
+			Trials: 2, Dir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(1), run(2)
+	if _, err := multicast.MergeSummaries([]*multicast.Summary{a, b}); err == nil ||
+		!strings.Contains(err.Error(), "different campaign") {
+		t.Errorf("err = %v, want a different-campaign refusal", err)
+	}
+	if _, err := multicast.MergeSummaries([]*multicast.Summary{a}); err != nil {
+		t.Errorf("merging one complete summary: %v", err)
+	}
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sync/atomic"
+
+	"multicast"
+	"multicast/internal/driver"
+)
+
+// driveFlags carries the -drive* flag values into the drive paths.
+type driveFlags struct {
+	shards     int
+	exec       bool
+	resume     bool
+	dir        string
+	workers    int
+	retries    int
+	ckptEvery  int
+	engine     multicast.Engine
+	crashAfter int
+	sumOut     string
+}
+
+// campaignDir resolves the -campaign-dir default: next to the summary
+// artifact when one is requested, a local directory otherwise.
+func campaignDir(dir, sumOut string) string {
+	if dir != "" {
+		return dir
+	}
+	if sumOut != "" {
+		return sumOut + ".campaign"
+	}
+	return "mcast-campaign"
+}
+
+// plan translates the flags into the public campaign plan, wiring in
+// the progress printer (and the -crash-after testing aid).
+func (f driveFlags) plan(trials int) multicast.CampaignPlan {
+	return multicast.CampaignPlan{
+		Trials:          trials,
+		Shards:          f.shards,
+		Workers:         f.workers,
+		Retries:         f.retries,
+		Dir:             f.dir,
+		Resume:          f.resume,
+		CheckpointEvery: f.ckptEvery,
+		Engine:          f.engine,
+		Progress:        progressPrinter(f.crashAfter),
+	}
+}
+
+// progressPrinter renders per-shard progress lines to stderr (stdout
+// stays reserved for the diffable summaries). With crashAfter > 0 it
+// kills the whole process after that many completed grid cells — the
+// deterministic "power cord" the crash-resume CI smoke pulls.
+func progressPrinter(crashAfter int) func(multicast.CampaignEvent) {
+	var cells atomic.Int64
+	return func(ev multicast.CampaignEvent) {
+		switch ev.Kind {
+		case multicast.CampaignShardStart:
+			if ev.Done > 0 {
+				fmt.Fprintf(os.Stderr, "shard %d: resuming at cell %d/%d (attempt %d)\n",
+					ev.Shard, ev.Done, ev.Total, ev.Attempt)
+			} else {
+				fmt.Fprintf(os.Stderr, "shard %d: start (%d cells, attempt %d)\n",
+					ev.Shard, ev.Total, ev.Attempt)
+			}
+		case multicast.CampaignShardCell:
+			// Every cell is checkpointed; print only coarse progress.
+			if step := max(1, ev.Total/4); ev.Done%step == 0 || ev.Done == ev.Total {
+				fmt.Fprintf(os.Stderr, "shard %d: %d/%d cells\n", ev.Shard, ev.Done, ev.Total)
+			}
+			if crashAfter > 0 && cells.Add(1) >= int64(crashAfter) {
+				fmt.Fprintf(os.Stderr, "mcast: -crash-after %d: killing the campaign\n", crashAfter)
+				os.Exit(7)
+			}
+		case multicast.CampaignShardDone:
+			fmt.Fprintf(os.Stderr, "shard %d: complete (%d cells)\n", ev.Shard, ev.Total)
+		case multicast.CampaignShardRetry:
+			fmt.Fprintf(os.Stderr, "shard %d: attempt %d failed (%v) — retrying from checkpoint\n",
+				ev.Shard, ev.Attempt, ev.Err)
+		}
+	}
+}
+
+// finishDrive prints and optionally persists the merged campaign
+// summary.
+func finishDrive(sum *multicast.Summary, sumOut string) error {
+	fmt.Printf("driven campaign complete: %s\n\n", indent(sum.Identity()))
+	printCampaign(sum)
+	if sumOut != "" {
+		if err := sum.Write(sumOut); err != nil {
+			return err
+		}
+		fmt.Printf("merged summary written to %s\n", sumOut)
+	}
+	return nil
+}
+
+// driveSingle supervises a single-workload campaign with k shard
+// workers.
+func driveSingle(ctx context.Context, cfg multicast.Config, trials int, f driveFlags) error {
+	if f.exec {
+		tmpl := singleSummary(cfg, trials, nil)
+		return driveExecCampaign(ctx, tmpl, trials, f)
+	}
+	sum, err := multicast.RunCampaign(ctx, cfg, f.plan(trials))
+	if err != nil {
+		return err
+	}
+	return finishDrive(sum, f.sumOut)
+}
+
+// driveScenario supervises a scenario-sweep campaign with k shard
+// workers.
+func driveScenario(ctx context.Context, name string, opts multicast.ScenarioOptions, trials int, f driveFlags) error {
+	scen, err := lookupScenario(name)
+	if err != nil {
+		return err
+	}
+	if f.exec {
+		points := multicast.ExpandScenario(scen, opts)
+		if len(points) == 0 {
+			return fmt.Errorf("scenario %s expanded to zero points", name)
+		}
+		tmpl := sweepSummary(scen, opts, points, trials, nil)
+		return driveExecCampaign(ctx, tmpl, trials, f)
+	}
+	sum, err := multicast.RunScenarioCampaign(ctx, scen, opts, f.plan(trials))
+	if err != nil {
+		return err
+	}
+	return finishDrive(sum, f.sumOut)
+}
+
+// driveExecCampaign drives the campaign with mcast subprocess workers:
+// each shard re-executes this binary with the same workload flags plus
+// its -shard slice and artifact path. A failed child restarts from
+// scratch (its own checkpoint state is not shared), still under the
+// driver's bounded retries, and the merged result is identical either
+// way.
+func driveExecCampaign(ctx context.Context, tmpl *multicast.Summary, trials int, f driveFlags) error {
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	base := workerArgs()
+	// Children size their own trial pools; without an explicit -workers
+	// each would default to full GOMAXPROCS and oversubscribe the box
+	// k-fold, so divide the cores like the in-process driver does.
+	if !flagWasSet("workers") {
+		base = append(base, fmt.Sprintf("-workers=%d", max(1, runtime.GOMAXPROCS(0)/f.shards)))
+	}
+	sum, err := driver.Run(ctx, driver.Spec{Template: tmpl, Trials: trials}, driver.Options{
+		Shards:   f.shards,
+		Retries:  f.retries,
+		Dir:      f.dir,
+		Resume:   f.resume,
+		Progress: progressPrinter(f.crashAfter),
+		Spawn: func(ctx context.Context, shard, shards int, artifact string) *exec.Cmd {
+			args := append(append([]string(nil), base...),
+				fmt.Sprintf("-shard=%d/%d", shard, shards),
+				fmt.Sprintf("-summary-out=%s", artifact))
+			cmd := exec.CommandContext(ctx, self, args...)
+			cmd.Stdout = io.Discard // children print their own summaries
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+	})
+	if err != nil {
+		return err
+	}
+	return finishDrive(sum, f.sumOut)
+}
+
+// workerArgs rebuilds the explicitly set command-line flags a shard
+// worker child must inherit — the workload and run flags, minus the
+// driver's own (the child is a plain `-shard i/k -summary-out …` run).
+func workerArgs() []string {
+	drop := map[string]bool{
+		"drive": true, "drive-exec": true, "resume": true, "campaign-dir": true,
+		"retries": true, "crash-after": true, "summary-out": true, "shard": true,
+		"timeout": true, // the parent enforces the deadline and kills children
+	}
+	var args []string
+	flag.Visit(func(fl *flag.Flag) {
+		if !drop[fl.Name] {
+			args = append(args, fmt.Sprintf("-%s=%s", fl.Name, fl.Value.String()))
+		}
+	})
+	return args
+}
+
+// flagWasSet reports whether the named flag was given explicitly.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == name {
+			set = true
+		}
+	})
+	return set
+}

@@ -27,6 +27,16 @@
 //	mcast -scenario duel -n 64 -trials 50000 -shard 1/2 -summary-out d1.json
 //	mcast -merge d0.json d1.json
 //
+// Driven campaigns supervise the whole shard fleet in one command:
+// -drive k launches k shard workers (in-process, or as mcast
+// subprocesses with -drive-exec), checkpoints each shard at grid-cell
+// granularity into -campaign-dir, retries failed shards, and merges the
+// artifacts automatically. A killed campaign resumes where it stopped:
+//
+//	mcast -scenario duel -n 64 -trials 50000 -drive 3 -campaign-dir camp -summary-out duel.json
+//	# …killed mid-run? finish it:
+//	mcast -scenario duel -n 64 -trials 50000 -drive 3 -campaign-dir camp -resume -summary-out duel.json
+//
 // See docs/OPERATIONS.md for the cross-machine campaign playbook.
 //
 // Adversaries: none, burst, fraction, random, sweep, pulse, bursty,
@@ -36,7 +46,7 @@ package main
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,38 +54,47 @@ import (
 	"strings"
 
 	"multicast"
+	"multicast/internal/campaign"
 	"multicast/internal/runner"
 	"multicast/internal/stats"
 )
 
 func main() {
 	var (
-		algName  = flag.String("alg", "multicast", "algorithm: multicastcore|multicast|multicast-c|multicastadv|multicastadv-c|singlechannel")
-		n        = flag.Int("n", 256, "number of nodes (power of two)")
-		channels = flag.Int("channels", 0, "physical channels for the (C) variants")
-		advName  = flag.String("adv", "none", "adversary: none|burst|fraction|random|sweep|pulse|bursty|targeted|reactive|camper")
-		budget   = flag.Int64("budget", 0, "Eve's energy budget T")
-		frac     = flag.Float64("frac", 0.9, "jam fraction for fraction/random/pulse/targeted")
-		start    = flag.Int64("start", 0, "first jamming slot for burst")
-		width    = flag.Int("width", 8, "window width for sweep")
-		period   = flag.Int64("period", 128, "pulse period")
-		duty     = flag.Int64("duty", 64, "pulse duty slots")
-		stop     = flag.Int64("stop", 0, "stop all jamming at this slot (0 = never)")
-		targetJ  = flag.Int("target-j", -1, "phase number targeted by the targeted jammer (default lg n − 1)")
-		seed     = flag.Uint64("seed", 1, "base random seed")
-		trials   = flag.Int("trials", 1, "independent trials (parallel)")
-		maxSlots = flag.Int64("max-slots", 0, "abort after this many slots (0 = default)")
-		trace    = flag.Bool("trace", false, "print a per-1000-slot trace of the first trial")
-		curve    = flag.Bool("curve", false, "print sparkline charts of the run (informed/halted/jammed/traffic)")
-		alpha    = flag.Float64("alpha", 0, "override MultiCastAdv α (0 = preset)")
-		engName  = flag.String("engine", "auto", "slot-loop engine: auto|dense|sparse (identical results; dense is the reference loop)")
-		shardStr = flag.String("shard", "", "run shard i/k of the trial batch or sweep grid (e.g. 0/3); implies summary output")
-		sumOut   = flag.String("summary-out", "", "write the mergeable summary JSON to this path")
-		merge    = flag.Bool("merge", false, "merge the shard summary files given as arguments and print the combined summary")
-		workers  = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
-		scenName = flag.String("scenario", "", "run a registry scenario sweep (-trials per point; overrides -alg/-adv; see -list-scenarios)")
-		listScen = flag.Bool("list-scenarios", false, "list the scenario registry and exit")
-		quick    = flag.Bool("quick", false, "with -scenario: expand the trimmed (smoke-test) point list")
+		algName    = flag.String("alg", "multicast", "algorithm: multicastcore|multicast|multicast-c|multicastadv|multicastadv-c|singlechannel")
+		n          = flag.Int("n", 256, "number of nodes (power of two)")
+		channels   = flag.Int("channels", 0, "physical channels for the (C) variants")
+		advName    = flag.String("adv", "none", "adversary: none|burst|fraction|random|sweep|pulse|bursty|targeted|reactive|camper")
+		budget     = flag.Int64("budget", 0, "Eve's energy budget T")
+		frac       = flag.Float64("frac", 0.9, "jam fraction for fraction/random/pulse/targeted")
+		start      = flag.Int64("start", 0, "first jamming slot for burst")
+		width      = flag.Int("width", 8, "window width for sweep")
+		period     = flag.Int64("period", 128, "pulse period")
+		duty       = flag.Int64("duty", 64, "pulse duty slots")
+		stop       = flag.Int64("stop", 0, "stop all jamming at this slot (0 = never)")
+		targetJ    = flag.Int("target-j", -1, "phase number targeted by the targeted jammer (default lg n − 1)")
+		seed       = flag.Uint64("seed", 1, "base random seed")
+		trials     = flag.Int("trials", 1, "independent trials (parallel)")
+		maxSlots   = flag.Int64("max-slots", 0, "abort after this many slots (0 = default)")
+		trace      = flag.Bool("trace", false, "print a per-1000-slot trace of the first trial")
+		curve      = flag.Bool("curve", false, "print sparkline charts of the run (informed/halted/jammed/traffic)")
+		alpha      = flag.Float64("alpha", 0, "override MultiCastAdv α (0 = preset)")
+		engName    = flag.String("engine", "auto", "slot-loop engine: auto|dense|sparse (identical results; dense is the reference loop)")
+		shardStr   = flag.String("shard", "", "run shard i/k of the trial batch or sweep grid (e.g. 0/3); implies summary output")
+		sumOut     = flag.String("summary-out", "", "write the mergeable summary JSON to this path")
+		merge      = flag.Bool("merge", false, "merge the shard summary files given as arguments and print the combined summary")
+		workers    = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
+		scenName   = flag.String("scenario", "", "run a registry scenario sweep (-trials per point; overrides -alg/-adv; see -list-scenarios)")
+		listScen   = flag.Bool("list-scenarios", false, "list the scenario registry and exit")
+		quick      = flag.Bool("quick", false, "with -scenario: expand the trimmed (smoke-test) point list")
+		timeout    = flag.Duration("timeout", 0, "abort the whole run after this long (e.g. 30m; interrupts in-flight executions cleanly)")
+		drive      = flag.Int("drive", 0, "drive the campaign with this many supervised shard workers (checkpointed; see -campaign-dir)")
+		driveExec  = flag.Bool("drive-exec", false, "with -drive: launch shard workers as mcast subprocesses instead of in-process")
+		resume     = flag.Bool("resume", false, "with -drive: resume an interrupted campaign from -campaign-dir")
+		campDir    = flag.String("campaign-dir", "", "with -drive: directory for shard artifacts and checkpoints (default: <summary-out>.campaign or mcast-campaign)")
+		retries    = flag.Int("retries", 1, "with -drive: relaunches per failed shard before the campaign fails")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "with -drive: grid cells between checkpoint flushes (1 = maximum crash safety; raise it to cut checkpoint I/O on huge campaigns)")
+		crashAfter = flag.Int("crash-after", 0, "with -drive: testing aid — kill the whole process after this many grid cells")
 	)
 	flag.Parse()
 	// Overrides like -n only reach a scenario when given explicitly —
@@ -88,18 +107,55 @@ func main() {
 		return
 	}
 
+	// The driver flags only mean something together.
+	if *drive < 0 {
+		fatal(fmt.Errorf("-drive %d: shard worker count must be positive", *drive))
+	}
+	if *drive == 0 {
+		for _, name := range []string{"drive-exec", "resume", "campaign-dir", "retries", "checkpoint-every", "crash-after"} {
+			if setFlags[name] {
+				fatal(fmt.Errorf("-%s requires -drive", name))
+			}
+		}
+	} else {
+		if *shardStr != "" {
+			fatal(fmt.Errorf("-shard cannot combine with -drive (the driver owns the shard layout)"))
+		}
+		if *merge {
+			fatal(fmt.Errorf("-merge cannot combine with -drive (a driven campaign merges automatically)"))
+		}
+		if *driveExec {
+			// Subprocess workers neither checkpoint through the parent
+			// nor report cells to it — refuse the knobs instead of
+			// silently ignoring them.
+			for _, name := range []string{"checkpoint-every", "crash-after"} {
+				if setFlags[name] {
+					fatal(fmt.Errorf("-%s has no effect with -drive-exec (subprocess workers restart from scratch)", name))
+				}
+			}
+		}
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// A deadline abort should read as a timeout, not a bare context error.
+	deadline := func(err error) error {
+		if err != nil && errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("run timed out after %v (in-flight executions were interrupted)", *timeout)
+		}
+		return err
+	}
+
 	if *merge {
 		args := flag.Args()
 		if len(args) == 0 {
 			fatal(fmt.Errorf("-merge needs at least one summary file argument"))
 		}
-		sweep, err := isSweepSummary(args[0])
-		fatal(err)
-		if sweep {
-			fatal(mergeSweepSummaries(args, *sumOut))
-		} else {
-			fatal(mergeSummaries(args, *sumOut))
-		}
+		fatal(mergeCmd(args, *sumOut))
 		return
 	}
 
@@ -109,6 +165,8 @@ func main() {
 		scenFlags := map[string]bool{
 			"scenario": true, "quick": true, "n": true, "budget": true, "seed": true,
 			"trials": true, "engine": true, "workers": true, "shard": true, "summary-out": true,
+			"timeout": true, "drive": true, "drive-exec": true, "resume": true,
+			"campaign-dir": true, "retries": true, "checkpoint-every": true, "crash-after": true,
 		}
 		for name := range setFlags {
 			if !scenFlags[name] {
@@ -126,7 +184,16 @@ func main() {
 		if setFlags["budget"] {
 			opts.Budget = *budget
 		}
-		fatal(runScenario(*scenName, opts, engine, *trials, shard, *workers, *sumOut))
+		if *drive > 0 {
+			fatal(deadline(driveScenario(ctx, *scenName, opts, *trials, driveFlags{
+				shards: *drive, exec: *driveExec, resume: *resume,
+				dir: campaignDir(*campDir, *sumOut), workers: *workers,
+				retries: *retries, ckptEvery: *ckptEvery, engine: engine,
+				crashAfter: *crashAfter, sumOut: *sumOut,
+			})))
+			return
+		}
+		fatal(deadline(runScenario(ctx, *scenName, opts, engine, *trials, shard, *workers, *sumOut)))
 		return
 	}
 
@@ -201,43 +268,46 @@ func main() {
 	fmt.Printf("algorithm=%s n=%d channels=%d adversary=%s budget=%d seed=%d trials=%d\n\n",
 		alg, *n, *channels, adv.Name(), *budget, *seed, *trials)
 
+	if *drive > 0 {
+		cfg.Observer = nil
+		fatal(deadline(driveSingle(ctx, cfg, *trials, driveFlags{
+			shards: *drive, exec: *driveExec, resume: *resume,
+			dir: campaignDir(*campDir, *sumOut), workers: *workers,
+			retries: *retries, ckptEvery: *ckptEvery, engine: engine,
+			crashAfter: *crashAfter, sumOut: *sumOut,
+		})))
+		return
+	}
+
 	if *shardStr != "" || *sumOut != "" {
 		// Campaign mode: stream trials into a mergeable collector, print
 		// the summary, and (optionally) write the shard artifact.
 		cfg.Observer = nil
 		col := runner.NewCollector()
-		err := multicast.RunTrialsContext(context.Background(), cfg,
+		err := multicast.RunTrialsContext(ctx, cfg,
 			multicast.TrialPlan{Trials: *trials, Shard: shard, Workers: *workers},
 			func(t int, m multicast.Metrics) error { return col.Add(t, m) })
-		fatal(err)
+		fatal(deadline(err))
 		if shard.Count > 1 {
 			fmt.Printf("shard %d/%d: %d of %d trials\n\n", shard.Index, shard.Count, col.Trials(), *trials)
 		}
 		printSummaries(col)
 		if *sumOut != "" {
-			fatal(writeSummary(*sumOut, summaryFile{
-				Algorithm:  string(alg),
-				N:          *n,
-				Channels:   *channels,
-				Adversary:  adv.Name(),
-				Budget:     *budget,
-				Alpha:      *alpha,
-				MaxSlots:   *maxSlots,
-				Seed:       *seed,
-				Trials:     *trials,
-				ShardIndex: shard.Index,
-				ShardCount: max(shard.Count, 1),
-				Collector:  col,
-			}))
+			sum := singleSummary(cfg, *trials, col)
+			sum.ShardIndex, sum.ShardCount = shard.Index, max(shard.Count, 1)
+			fatal(sum.Write(*sumOut))
 			fmt.Printf("summary written to %s\n", *sumOut)
 		}
 		return
 	}
 
 	if *trials == 1 {
-		m, err := multicast.Run(cfg)
-		fatal(err)
-		report(m)
+		err := multicast.RunTrialsContext(ctx, cfg, multicast.TrialPlan{Trials: 1},
+			func(_ int, m multicast.Metrics) error {
+				report(m)
+				return nil
+			})
+		fatal(deadline(err))
 		if rec != nil {
 			fmt.Print(multicast.TraceChart(72, rec.Informed, rec.Halted, rec.Jammed, rec.Traffic))
 		}
@@ -245,14 +315,79 @@ func main() {
 	}
 	cfg.Observer = nil
 	// Trials stream out in seed order; nothing is buffered.
-	err = multicast.RunTrialsContext(context.Background(), cfg,
+	err = multicast.RunTrialsContext(ctx, cfg,
 		multicast.TrialPlan{Trials: *trials, Workers: *workers},
 		func(t int, m multicast.Metrics) error {
 			fmt.Printf("--- trial %d (seed %d) ---\n", t, *seed+uint64(t))
 			report(m)
 			return nil
 		})
-	fatal(err)
+	fatal(deadline(err))
+}
+
+// singleSummary builds the artifact skeleton of a single-workload
+// campaign around its collector (nil: fresh empty). The skeleton comes
+// from the same constructor RunCampaign uses, so CLI and library
+// artifacts of one campaign always merge.
+func singleSummary(cfg multicast.Config, trials int, col *runner.Collector) *multicast.Summary {
+	s := multicast.NewSummary(cfg, trials)
+	if col != nil {
+		s.Points[0].Collector = col
+	}
+	return s
+}
+
+// mergeCmd combines shard artifacts (single-workload or sweep — one
+// schema) into the full campaign summary and prints it.
+func mergeCmd(paths []string, out string) error {
+	merged, err := campaign.MergeFiles(paths)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merged %d shard file(s): %s\n\n", len(paths), indent(merged.Identity()))
+	printCampaign(merged)
+	if out != "" {
+		if err := merged.Write(out); err != nil {
+			return err
+		}
+		fmt.Printf("merged summary written to %s\n", out)
+	}
+	return nil
+}
+
+// printCampaign renders a campaign summary: one block for a
+// single-workload campaign, one block per point for a sweep.
+func printCampaign(s *multicast.Summary) {
+	if s.Single() {
+		printSummaries(s.Points[0].Collector)
+		return
+	}
+	for _, p := range s.Points {
+		fmt.Printf("-- point %s (%s)\n", p.Label, p.Workload)
+		printSummaries(p.Collector)
+		fmt.Println()
+	}
+}
+
+// printSummaries renders every headline metric at full float precision
+// (%v round-trips float64 exactly), so byte-equal output means
+// bit-identical summaries — the shard→merge CI smokes diff this text.
+func printSummaries(col *runner.Collector) {
+	line := func(name string, s stats.Summary) {
+		fmt.Printf("%-18s n=%d mean=%v std=%v min=%v p25=%v med=%v p75=%v p95=%v max=%v\n",
+			name, s.Count, s.Mean, s.Std, s.Min, s.P25, s.Median, s.P75, s.P95, s.Max)
+	}
+	line("slots", col.Slots())
+	line("max node energy", col.MaxEnergy())
+	line("source energy", col.SourceEnergy())
+	line("mean node energy", col.MeanEnergy())
+	line("eve energy", col.EveEnergy())
+	line("all informed", col.AllInformed())
+	if inv := col.Invariants(); inv.Any() {
+		fmt.Printf("!! invariant violations: %+v\n", inv)
+	} else {
+		fmt.Printf("safety invariants:  all hold (%d trials)\n", col.Trials())
+	}
 }
 
 // parseShard resolves "i/k" (empty = unsharded). The whole string must
@@ -278,115 +413,6 @@ func parseShard(s string) (multicast.Shard, error) {
 		return sh, fmt.Errorf("shard %d/%d out of range", sh.Index, sh.Count)
 	}
 	return sh, nil
-}
-
-// summaryFile is the mergeable shard artifact written by -summary-out.
-// Scenario fields echo the flags so -merge can refuse to combine
-// summaries of different campaigns.
-type summaryFile struct {
-	Tool       string            `json:"tool"`
-	Algorithm  string            `json:"algorithm"`
-	N          int               `json:"n"`
-	Channels   int               `json:"channels,omitempty"`
-	Adversary  string            `json:"adversary"`
-	Budget     int64             `json:"budget"`
-	Alpha      float64           `json:"alpha,omitempty"`
-	MaxSlots   int64             `json:"max_slots,omitempty"`
-	Seed       uint64            `json:"seed"`
-	Trials     int               `json:"trials"`
-	ShardIndex int               `json:"shard_index"`
-	ShardCount int               `json:"shard_count"`
-	Collector  *runner.Collector `json:"collector"`
-}
-
-// scenario is the campaign identity two files must share to merge. It
-// covers every flag that changes trial outcomes (adversary names embed
-// their own parameters); shard/workers/engine deliberately excluded —
-// they must not change results.
-func (f summaryFile) scenario() string {
-	return fmt.Sprintf("%s n=%d channels=%d adv=%s budget=%d alpha=%v max-slots=%d seed=%d trials=%d",
-		f.Algorithm, f.N, f.Channels, f.Adversary, f.Budget, f.Alpha, f.MaxSlots, f.Seed, f.Trials)
-}
-
-func writeSummary(path string, f summaryFile) error {
-	f.Tool = "mcast"
-	return writeJSON(path, f)
-}
-
-// mergeSummaries combines shard artifacts into the full-batch summary.
-// The union must cover the campaign's whole trial batch, so a dropped
-// shard file is an error, not a silently thinner sample (the
-// exact-coverage rules live in shardCoverage, shared with the sweep
-// merge path).
-func mergeSummaries(paths []string, out string) error {
-	if len(paths) == 0 {
-		return fmt.Errorf("-merge needs at least one summary file argument")
-	}
-	var first summaryFile
-	merged := runner.NewCollector()
-	var cover shardCoverage
-	for i, path := range paths {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		var f summaryFile
-		if err := json.Unmarshal(data, &f); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		if f.Collector == nil {
-			if sweep, err := isSweepSummary(path); err == nil && sweep {
-				return fmt.Errorf("%s is a scenario-sweep summary; it cannot merge with the single-workload summary %s", path, paths[0])
-			}
-			return fmt.Errorf("%s: no collector payload", path)
-		}
-		if err := cover.add(path, f.scenario(), f.ShardIndex, f.ShardCount); err != nil {
-			return err
-		}
-		if i == 0 {
-			first = f
-		}
-		merged.Merge(f.Collector)
-	}
-	if err := cover.complete(); err != nil {
-		return err
-	}
-	if merged.Trials() != int64(first.Trials) {
-		return fmt.Errorf("merged shards cover %d of %d trials — corrupt shard files",
-			merged.Trials(), first.Trials)
-	}
-	fmt.Printf("merged %d shard file(s): %s\n\n", len(paths), first.scenario())
-	printSummaries(merged)
-	if out != "" {
-		first.ShardIndex, first.ShardCount = 0, 1
-		first.Collector = merged
-		if err := writeSummary(out, first); err != nil {
-			return err
-		}
-		fmt.Printf("merged summary written to %s\n", out)
-	}
-	return nil
-}
-
-// printSummaries renders every headline metric at full float precision
-// (%v round-trips float64 exactly), so byte-equal output means
-// bit-identical summaries — the shard→merge CI smoke diffs this text.
-func printSummaries(col *runner.Collector) {
-	line := func(name string, s stats.Summary) {
-		fmt.Printf("%-18s n=%d mean=%v std=%v min=%v p25=%v med=%v p75=%v p95=%v max=%v\n",
-			name, s.Count, s.Mean, s.Std, s.Min, s.P25, s.Median, s.P75, s.P95, s.Max)
-	}
-	line("slots", col.Slots())
-	line("max node energy", col.MaxEnergy())
-	line("source energy", col.SourceEnergy())
-	line("mean node energy", col.MeanEnergy())
-	line("eve energy", col.EveEnergy())
-	line("all informed", col.AllInformed())
-	if inv := col.Invariants(); inv.Any() {
-		fmt.Printf("!! invariant violations: %+v\n", inv)
-	} else {
-		fmt.Printf("safety invariants:  all hold (%d trials)\n", col.Trials())
-	}
 }
 
 func report(m multicast.Metrics) {
@@ -433,6 +459,8 @@ func lg(n int) int {
 	}
 	return l
 }
+
+func indent(s string) string { return strings.ReplaceAll(s, "\n", "\n  ") }
 
 func fatal(err error) {
 	if err != nil {

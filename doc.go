@@ -107,4 +107,21 @@
 // experiment harness, `mcbench -matrix`, and `mcast -scenario` all
 // enumerate through the same registry; `mcast -list-scenarios` prints
 // it, and docs/OPERATIONS.md is the cross-machine campaign playbook.
+//
+// # Campaigns and artifacts
+//
+// Above the sweep layer sits the campaign layer: one versioned,
+// mergeable artifact schema (Summary; single workloads and scenario
+// sweeps share it) plus a resumable driver. RunCampaign and
+// RunScenarioCampaign launch CampaignPlan.Shards concurrent shard
+// workers over the flattened grid, checkpoint each shard's progress at
+// grid-cell granularity into CampaignPlan.Dir, retry failed shards from
+// their checkpoints, and merge the shard artifacts into the final
+// summary. Because checkpoints always cover a prefix of a shard's
+// in-order cell stream, a campaign killed at any instant and re-run
+// with Resume produces a summary bit-identical to an uninterrupted
+// run's. ReadSummary, MergeSummaries, and MergeSummaryFiles expose the
+// artifact layer directly (exact-coverage merge rules: one campaign
+// identity, all k distinct shards, full trial coverage, known schema
+// version), so library users never shell out to `mcast -merge`.
 package multicast

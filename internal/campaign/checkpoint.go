@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"multicast/internal/sim"
+)
+
+// checkpointFile is the sidecar progress artifact a shard worker
+// updates as it runs: the partial shard summary plus how many of the
+// shard's grid cells it covers. Because the runner delivers cells in
+// ascending grid order, the covered cells are always the first
+// DoneCells of the shard's slice, so resuming is "skip that many cells
+// and keep folding into the restored collectors" — which replays the
+// exact accumulator insertion order and keeps the finished artifact
+// bit-identical to an uninterrupted run's.
+type checkpointFile struct {
+	SchemaVersion int      `json:"schema_version"`
+	DoneCells     int      `json:"done_cells"`
+	Summary       *Summary `json:"summary"`
+}
+
+// Checkpointer folds a shard's grid cells into its summary and persists
+// a checkpoint at grid-cell granularity, atomically, so the worker can
+// die at any instant and resume at its next undone cell. A checkpoint
+// lagging behind the truth is harmless: the re-run cells are
+// deterministic and their metrics are folded into a state that does not
+// contain them yet.
+type Checkpointer struct {
+	path  string
+	every int
+	done  int
+	dirty int // cells folded in since the last flush
+	sum   *Summary
+}
+
+// NewCheckpointer returns a checkpointer persisting to path, starting
+// from template's identity and shard layout with fresh collectors.
+// every is the number of cells between flushes; 0 or 1 checkpoints
+// after every cell.
+func NewCheckpointer(path string, template *Summary, every int) *Checkpointer {
+	if every < 1 {
+		every = 1
+	}
+	return &Checkpointer{path: path, every: every, sum: template.CloneEmpty()}
+}
+
+// Resume loads the checkpoint file if it exists and adopts its state,
+// returning the number of cells already done (0 when there is no
+// checkpoint yet). A checkpoint from a different campaign or shard, an
+// unknown schema version, or an internally inconsistent state is an
+// error — resuming over it would corrupt the artifact silently.
+func (c *Checkpointer) Resume() (int, error) {
+	data, err := os.ReadFile(c.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var probe struct {
+		SchemaVersion int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return 0, fmt.Errorf("checkpoint %s: %w", c.path, err)
+	}
+	if err := checkVersion(probe.SchemaVersion); err != nil {
+		return 0, fmt.Errorf("checkpoint %s: %w", c.path, err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("checkpoint %s: %w", c.path, err)
+	}
+	if f.Summary == nil {
+		return 0, fmt.Errorf("checkpoint %s: no summary payload", c.path)
+	}
+	if err := f.Summary.Validate(); err != nil {
+		return 0, fmt.Errorf("checkpoint %s: %w", c.path, err)
+	}
+	if got, want := f.Summary.Identity(), c.sum.Identity(); got != want {
+		return 0, fmt.Errorf("checkpoint %s is from a different campaign:\n  %s\nvs this campaign:\n  %s",
+			c.path, indent(got), indent(want))
+	}
+	if f.Summary.ShardIndex != c.sum.ShardIndex || f.Summary.ShardCount != c.sum.ShardCount {
+		return 0, fmt.Errorf("checkpoint %s is for shard %d/%d, not %d/%d",
+			c.path, f.Summary.ShardIndex, f.Summary.ShardCount, c.sum.ShardIndex, c.sum.ShardCount)
+	}
+	if f.DoneCells < 0 || f.Summary.Cells() != int64(f.DoneCells) {
+		return 0, fmt.Errorf("checkpoint %s: %d cells recorded but collectors hold %d — corrupt checkpoint",
+			c.path, f.DoneCells, f.Summary.Cells())
+	}
+	c.sum = f.Summary
+	c.done = f.DoneCells
+	c.dirty = 0
+	return c.done, nil
+}
+
+// Add folds one grid cell's metrics into the shard summary and flushes
+// the checkpoint if one is due. It has the runner.SweepSink signature.
+func (c *Checkpointer) Add(point, trial int, m sim.Metrics) error {
+	if point < 0 || point >= len(c.sum.Points) {
+		return fmt.Errorf("checkpoint %s: cell for point %d of %d", c.path, point, len(c.sum.Points))
+	}
+	if err := c.sum.Points[point].Collector.Add(trial, m); err != nil {
+		return err
+	}
+	c.done++
+	c.dirty++
+	if c.dirty >= c.every {
+		return c.Flush()
+	}
+	return nil
+}
+
+// Flush persists the current state atomically (write-then-rename): a
+// crash mid-flush leaves the previous checkpoint intact.
+func (c *Checkpointer) Flush() error {
+	data, err := json.Marshal(checkpointFile{
+		SchemaVersion: SchemaVersion,
+		DoneCells:     c.done,
+		Summary:       c.sum,
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(c.path, data); err != nil {
+		return err
+	}
+	c.dirty = 0
+	return nil
+}
+
+// Done returns the number of grid cells folded in so far — the Skip
+// value a resumed runner plan needs.
+func (c *Checkpointer) Done() int { return c.done }
+
+// Summary returns the shard summary under accumulation. The caller owns
+// writing it as the shard artifact once the shard's slice is complete.
+func (c *Checkpointer) Summary() *Summary { return c.sum }
+
+// Remove deletes the checkpoint file (after the shard artifact is
+// safely written); a missing file is not an error.
+func (c *Checkpointer) Remove() error {
+	if err := os.Remove(c.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,402 @@
+// Package driver turns a sharded campaign from a hand-run procedure
+// into a supervised one: given a campaign spec and a shard count k, it
+// launches k shard workers, streams per-shard progress, restarts or
+// resumes failed shards with bounded retries, and gathers and merges
+// the shard artifacts into the final summary — the summary the
+// unsharded run would have produced, bit for bit.
+//
+// Workers run either in-process (each shard drives runner.RunSweep
+// under its own campaign.Checkpointer, so a crashed or cancelled driver
+// resumes every shard at its next undone grid cell) or as subprocesses
+// via Options.Spawn (each child writes its shard artifact itself; a
+// failed child is restarted from scratch, since its checkpoint state is
+// its own business). Either way the artifact directory is the only
+// coordination medium, which is what makes a driven campaign
+// killable: re-running with Options.Resume skips shards whose
+// artifacts are complete, resumes checkpointed ones, and re-merges.
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"multicast/internal/campaign"
+	"multicast/internal/runner"
+	"multicast/internal/sim"
+)
+
+// Spec describes one campaign to drive.
+type Spec struct {
+	// Template carries the campaign identity and artifact skeleton (its
+	// collectors are ignored; shard workers start from CloneEmpty).
+	Template *campaign.Summary
+	// Points are the workload points backing Template.Points, in the
+	// same order. Required for in-process workers; ignored when Spawn
+	// launches subprocesses (the children build their own workloads).
+	Points []sim.Config
+	// Trials is the trial count per point; must match Template.Trials.
+	Trials int
+}
+
+// EventKind classifies a progress event.
+type EventKind string
+
+const (
+	// EventStart: a shard worker attempt begins (Done cells already
+	// checkpointed when resuming).
+	EventStart EventKind = "start"
+	// EventCell: a shard worker completed (and checkpointed) one grid
+	// cell.
+	EventCell EventKind = "cell"
+	// EventShardDone: a shard's artifact is complete on disk.
+	EventShardDone EventKind = "shard-done"
+	// EventRetry: a shard attempt failed and will be retried (resuming
+	// from its checkpoint when one exists).
+	EventRetry EventKind = "retry"
+)
+
+// Event is one per-shard progress notification. Events are delivered
+// serially (never concurrently) but interleave across shards.
+type Event struct {
+	// Shard is the shard index, 0 ≤ Shard < Shards.
+	Shard int
+	// Kind classifies the event.
+	Kind EventKind
+	// Done and Total count this shard's grid cells (local, not global).
+	Done, Total int
+	// Attempt numbers the worker attempt, starting at 0.
+	Attempt int
+	// Err carries the failure on EventRetry.
+	Err error
+}
+
+// Options tune a driven campaign.
+type Options struct {
+	// Shards is k: the campaign grid is split into shards 0..k-1, one
+	// worker each. Minimum 1.
+	Shards int
+	// Workers caps each in-process shard worker's trial pool; 0 divides
+	// GOMAXPROCS evenly across shards (minimum 1 each).
+	Workers int
+	// Retries is how many times a failed shard worker is relaunched
+	// (resuming from its checkpoint) before the campaign fails. 0 means
+	// fail on the first error.
+	Retries int
+	// Dir is the campaign directory holding shard artifacts and
+	// checkpoints. Required: it is the resume state.
+	Dir string
+	// Resume continues a previously interrupted campaign in Dir:
+	// completed shard artifacts are kept, checkpointed shards resume at
+	// their next undone cell. Without Resume, a Dir already holding
+	// campaign files is refused.
+	Resume bool
+	// CheckpointEvery is the number of grid cells between checkpoint
+	// flushes for in-process workers; 0 or 1 checkpoints every cell.
+	CheckpointEvery int
+	// Progress, if non-nil, receives per-shard events.
+	Progress func(Event)
+	// Spawn, if non-nil, launches shard workers as subprocesses instead
+	// of in-process: it must return a command that runs shard
+	// `shard`/`shards` of the campaign and writes its artifact to
+	// `artifact` (atomically — campaign.Summary.Write does). The driver
+	// validates the artifact after the child exits.
+	Spawn func(ctx context.Context, shard, shards int, artifact string) *exec.Cmd
+	// CellHook is a test seam: called after each checkpointed cell of an
+	// in-process shard; an error fails the shard attempt as if the
+	// worker had crashed there.
+	CellHook func(shard, attempt, done int) error
+}
+
+// ArtifactPath returns the shard artifact path within dir the driver
+// writes and gathers.
+func ArtifactPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.json", shard))
+}
+
+// checkpointPath returns the shard checkpoint sidecar path within dir.
+func checkpointPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.ckpt.json", shard))
+}
+
+// Run drives the campaign to completion and returns the merged summary.
+// On failure the campaign directory keeps every complete artifact and
+// checkpoint, so rerunning with Options.Resume loses no finished cell.
+func Run(ctx context.Context, spec Spec, opts Options) (*campaign.Summary, error) {
+	if spec.Template == nil {
+		return nil, fmt.Errorf("driver: no campaign template")
+	}
+	if err := spec.Template.Validate(); err != nil {
+		return nil, fmt.Errorf("driver: campaign template: %w", err)
+	}
+	if spec.Trials != spec.Template.Trials {
+		return nil, fmt.Errorf("driver: spec trials %d != template trials %d", spec.Trials, spec.Template.Trials)
+	}
+	if opts.Spawn == nil && len(spec.Points) != len(spec.Template.Points) {
+		return nil, fmt.Errorf("driver: %d workload points for %d template points",
+			len(spec.Points), len(spec.Template.Points))
+	}
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("driver: shards = %d must be positive", opts.Shards)
+	}
+	if opts.Retries < 0 {
+		return nil, fmt.Errorf("driver: retries = %d must not be negative", opts.Retries)
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("driver: campaign directory required (it is the resume state)")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if !opts.Resume {
+		stale, err := filepath.Glob(filepath.Join(opts.Dir, "shard-*.json"))
+		if err != nil {
+			return nil, err
+		}
+		if len(stale) > 0 {
+			return nil, fmt.Errorf("driver: %s already holds campaign files (%s, …) — resume the campaign or remove the directory",
+				opts.Dir, filepath.Base(stale[0]))
+		}
+	}
+
+	d := &drive{spec: spec, opts: opts, total: len(spec.Template.Points) * spec.Trials}
+	if d.opts.Workers == 0 && d.opts.Spawn == nil {
+		d.opts.Workers = max(1, runtime.GOMAXPROCS(0)/opts.Shards)
+	}
+
+	var wg sync.WaitGroup
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, opts.Shards)
+	for i := 0; i < opts.Shards; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := d.runShard(runCtx, i); err != nil {
+				errs[i] = err
+				cancel() // first failure stops the fleet; checkpoints survive
+			}
+		}()
+	}
+	wg.Wait()
+	// The failing shard's error, not a sibling's cancellation echo.
+	var firstErr error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			firstErr = err
+			break
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	paths := make([]string, opts.Shards)
+	for i := range paths {
+		paths[i] = ArtifactPath(opts.Dir, i)
+	}
+	merged, err := campaign.MergeFiles(paths)
+	if err != nil {
+		return nil, fmt.Errorf("driver: gathering shard artifacts: %w", err)
+	}
+	return merged, nil
+}
+
+// drive is the shared state of one Run call.
+type drive struct {
+	spec  Spec
+	opts  Options
+	total int // global grid cells
+
+	mu sync.Mutex // serializes Progress callbacks
+}
+
+func (d *drive) emit(ev Event) {
+	if d.opts.Progress == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.opts.Progress(ev)
+}
+
+// localCells counts the grid cells of shard i — the runner's own slice
+// definition, so completeness checks cannot desync from the execution
+// loop.
+func (d *drive) localCells(i int) int {
+	return runner.Shard{Index: i, Count: d.opts.Shards}.Cells(d.total)
+}
+
+// terminalError marks a failure retrying cannot fix — identity and
+// validation mismatches are deterministic, so relaunching the worker
+// would just replay them Retries times with misleading progress lines.
+type terminalError struct{ err error }
+
+func (e terminalError) Error() string { return e.err.Error() }
+func (e terminalError) Unwrap() error { return e.err }
+
+// shardTemplate is shard i's empty artifact skeleton.
+func (d *drive) shardTemplate(i int) *campaign.Summary {
+	s := d.spec.Template.CloneEmpty()
+	s.ShardIndex, s.ShardCount = i, d.opts.Shards
+	return s
+}
+
+// runShard supervises one shard: skip it if its artifact is already
+// complete, otherwise attempt it up to 1+Retries times, resuming
+// in-process attempts from the shard checkpoint.
+func (d *drive) runShard(ctx context.Context, i int) error {
+	local := d.localCells(i)
+	for attempt := 0; ; attempt++ {
+		if d.opts.Resume || attempt > 0 {
+			done, err := d.shardComplete(i, local)
+			if err != nil {
+				return err
+			}
+			if done {
+				d.emit(Event{Shard: i, Kind: EventShardDone, Done: local, Total: local, Attempt: attempt})
+				return nil
+			}
+		}
+		var err error
+		if d.opts.Spawn != nil {
+			err = d.runSubprocess(ctx, i, attempt, local)
+		} else {
+			err = d.runInProcess(ctx, i, attempt, local)
+		}
+		if err == nil {
+			d.emit(Event{Shard: i, Kind: EventShardDone, Done: local, Total: local, Attempt: attempt})
+			return nil
+		}
+		if ctx.Err() != nil {
+			// Cancellation (or a sibling shard's failure) is not this
+			// shard's fault; don't burn retries on it.
+			return ctx.Err()
+		}
+		var term terminalError
+		if errors.As(err, &term) {
+			return term.err
+		}
+		if attempt >= d.opts.Retries {
+			return fmt.Errorf("driver: shard %d/%d failed after %d attempt(s): %w",
+				i, d.opts.Shards, attempt+1, err)
+		}
+		d.emit(Event{Shard: i, Kind: EventRetry, Total: local, Attempt: attempt, Err: err})
+	}
+}
+
+// shardComplete reports whether shard i's artifact already covers its
+// whole slice; an artifact from a different campaign is a hard error,
+// not a silent re-run.
+func (d *drive) shardComplete(i, local int) (bool, error) {
+	path := ArtifactPath(d.opts.Dir, i)
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	s, err := campaign.Read(path)
+	if err != nil {
+		return false, fmt.Errorf("driver: shard %d artifact: %w", i, err)
+	}
+	tmpl := d.shardTemplate(i)
+	if s.Identity() != tmpl.Identity() {
+		return false, fmt.Errorf("driver: artifact %s is from a different campaign:\n  %s\nvs this campaign:\n  %s",
+			path, s.Identity(), tmpl.Identity())
+	}
+	if s.ShardIndex != i || s.ShardCount != d.opts.Shards {
+		return false, fmt.Errorf("driver: artifact %s is shard %d/%d, not %d/%d",
+			path, s.ShardIndex, s.ShardCount, i, d.opts.Shards)
+	}
+	if s.Cells() != int64(local) {
+		return false, fmt.Errorf("driver: artifact %s covers %d of %d cells — corrupt artifact",
+			path, s.Cells(), local)
+	}
+	return true, nil
+}
+
+// runInProcess executes one attempt of shard i through runner.RunSweep
+// under a checkpointer, then writes the shard artifact.
+func (d *drive) runInProcess(ctx context.Context, i, attempt, local int) error {
+	ck := campaign.NewCheckpointer(checkpointPath(d.opts.Dir, i), d.shardTemplate(i), d.opts.CheckpointEvery)
+	if d.opts.Resume || attempt > 0 {
+		if _, err := ck.Resume(); err != nil {
+			return terminalError{err} // foreign/corrupt checkpoint: retrying replays it
+		}
+	}
+	d.emit(Event{Shard: i, Kind: EventStart, Done: ck.Done(), Total: local, Attempt: attempt})
+	err := runner.RunSweep(ctx, d.spec.Points, runner.SweepPlan{
+		Trials:  d.spec.Trials,
+		Shard:   runner.Shard{Index: i, Count: d.opts.Shards},
+		Skip:    ck.Done(),
+		Workers: d.opts.Workers,
+	}, func(p, t int, m sim.Metrics) error {
+		if err := ck.Add(p, t, m); err != nil {
+			return err
+		}
+		d.emit(Event{Shard: i, Kind: EventCell, Done: ck.Done(), Total: local, Attempt: attempt})
+		if d.opts.CellHook != nil {
+			if err := d.opts.CellHook(i, attempt, ck.Done()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		// The checkpoint keeps every completed cell; flush any tail the
+		// throttle was still holding so a retry resumes as far along as
+		// possible (best effort — the stale checkpoint is also correct).
+		if ck.Done() > 0 {
+			_ = ck.Flush()
+		}
+		return err
+	}
+	if got := ck.Done(); got != local {
+		return fmt.Errorf("driver: shard %d ran %d of %d cells", i, got, local)
+	}
+	if err := ck.Summary().Write(ArtifactPath(d.opts.Dir, i)); err != nil {
+		return err
+	}
+	return ck.Remove()
+}
+
+// runSubprocess executes one attempt of shard i via Options.Spawn and
+// validates the artifact the child wrote.
+func (d *drive) runSubprocess(ctx context.Context, i, attempt, local int) error {
+	path := ArtifactPath(d.opts.Dir, i)
+	// A failed child restarts from scratch; drop its stale artifact so
+	// completeness checks can't read a half-campaign's leftovers.
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	d.emit(Event{Shard: i, Kind: EventStart, Done: 0, Total: local, Attempt: attempt})
+	cmd := d.opts.Spawn(ctx, i, d.opts.Shards, path)
+	if cmd == nil {
+		return fmt.Errorf("driver: spawn returned no command for shard %d", i)
+	}
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("driver: shard %d worker: %w", i, err)
+	}
+	done, err := d.shardComplete(i, local)
+	if err != nil {
+		// Artifact writes are atomic, so a foreign or corrupt artifact
+		// is deterministic, not a torn write worth retrying.
+		return terminalError{err}
+	}
+	if !done {
+		return fmt.Errorf("driver: shard %d worker exited without writing %s", i, path)
+	}
+	return nil
+}

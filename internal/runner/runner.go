@@ -58,6 +58,19 @@ func (s Shard) normalize() (Shard, error) {
 	return s, nil
 }
 
+// Cells returns the number of grid cells in this shard's slice of a
+// total-cell grid: indices g ≡ Index (mod Count) in [0, total). This is
+// the one definition of the slice size — checkpoint and artifact
+// completeness checks (internal/driver) must agree with the execution
+// loop about it.
+func (s Shard) Cells(total int) int {
+	n, err := s.normalize()
+	if err != nil || total <= n.Index {
+		return 0
+	}
+	return (total - n.Index + n.Count - 1) / n.Count
+}
+
 // Plan describes one batch of trials.
 type Plan struct {
 	// Trials is the total number of trials across all shards. Seeds are
@@ -66,6 +79,12 @@ type Plan struct {
 	// Shard selects this machine's slice: trials t ≡ Shard.Index
 	// (mod Shard.Count). The zero value runs everything.
 	Shard Shard
+	// Skip omits the first Skip trials of this shard's slice — trials a
+	// resumed worker already completed and checkpointed (see
+	// internal/campaign). Delivery continues, still in ascending order,
+	// with the shard's (Skip+1)-th trial; skipping the whole slice runs
+	// nothing and succeeds.
+	Skip int
 	// Workers caps the worker pool; 0 means GOMAXPROCS.
 	Workers int
 }
@@ -90,7 +109,7 @@ func Run(ctx context.Context, cfg sim.Config, plan Plan, sink Sink) error {
 	if plan.Trials <= 0 {
 		return fmt.Errorf("runner: trials = %d must be positive", plan.Trials)
 	}
-	return runGrid(ctx, plan.Trials, plan.Shard, plan.Workers,
+	return runGrid(ctx, plan.Trials, plan.Shard, plan.Skip, plan.Workers,
 		func(done <-chan struct{}, t int) result {
 			c := cfg
 			c.Interrupt = done
@@ -113,25 +132,29 @@ func Run(ctx context.Context, cfg sim.Config, plan Plan, sink Sink) error {
 
 // runGrid is the shared execution core of Run and RunSweep: it walks the
 // global index space [0, total), restricted to this shard's slice
-// (idx ≡ shard.Index mod shard.Count), fans indices out over a worker
-// pool, and hands each result to deliver in ascending index order. exec
-// receives the cancellation channel to wire into sim.Config.Interrupt;
-// deliver owns error translation and the sink call, and its first error
-// (in index order) cancels all outstanding work.
-func runGrid(ctx context.Context, total int, reqShard Shard, reqWorkers int,
+// (idx ≡ shard.Index mod shard.Count) minus its first skip cells, fans
+// indices out over a worker pool, and hands each result to deliver in
+// ascending index order. exec receives the cancellation channel to wire
+// into sim.Config.Interrupt; deliver owns error translation and the sink
+// call, and its first error (in index order) cancels all outstanding
+// work.
+func runGrid(ctx context.Context, total int, reqShard Shard, skip, reqWorkers int,
 	exec func(done <-chan struct{}, idx int) result,
 	deliver func(idx int, r result) error) error {
 	shard, err := reqShard.normalize()
 	if err != nil {
 		return err
 	}
-	local := 0 // grid cells on this shard
-	if total > shard.Index {
-		local = (total - shard.Index + shard.Count - 1) / shard.Count
+	if skip < 0 {
+		return fmt.Errorf("runner: skip = %d must not be negative", skip)
 	}
-	if local == 0 {
+	// This shard's grid cells, minus those a resumed worker already
+	// completed.
+	local := shard.Cells(total) - skip
+	if local <= 0 {
 		return ctx.Err()
 	}
+	start := shard.Index + skip*shard.Count
 	workers := reqWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -148,7 +171,7 @@ func runGrid(ctx context.Context, total int, reqShard Shard, reqWorkers int,
 
 	if workers == 1 {
 		// Serial fast path: no goroutines, same semantics.
-		for idx := shard.Index; idx < total; idx += shard.Count {
+		for idx := start; idx < total; idx += shard.Count {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -182,7 +205,7 @@ func runGrid(ctx context.Context, total int, reqShard Shard, reqWorkers int,
 	go func() {
 		defer close(jobs)
 		defer close(futures)
-		for idx := shard.Index; idx < total; idx += shard.Count {
+		for idx := start; idx < total; idx += shard.Count {
 			out := make(chan result, 1)
 			select {
 			case futures <- out:
@@ -197,7 +220,7 @@ func runGrid(ctx context.Context, total int, reqShard Shard, reqWorkers int,
 		}
 	}()
 
-	next := shard.Index
+	next := start
 	var firstErr error
 	for out := range futures {
 		if firstErr != nil {

@@ -19,6 +19,12 @@ type SweepPlan struct {
 	// indices g ≡ Shard.Index (mod Shard.Count), where g = p·Trials + t.
 	// The zero value runs the whole sweep.
 	Shard Shard
+	// Skip omits the first Skip cells of this shard's slice — cells a
+	// resumed worker already completed and checkpointed (see
+	// internal/campaign). Delivery continues, still in ascending
+	// global-index order, with the shard's (Skip+1)-th cell; skipping the
+	// whole slice runs nothing and succeeds.
+	Skip int
 	// Workers caps the worker pool; 0 means GOMAXPROCS.
 	Workers int
 }
@@ -56,7 +62,7 @@ func RunSweep(ctx context.Context, points []sim.Config, plan SweepPlan, sink Swe
 		return fmt.Errorf("runner: sweep grid %d×%d overflows", len(points), plan.Trials)
 	}
 	total := len(points) * plan.Trials
-	return runGrid(ctx, total, plan.Shard, plan.Workers,
+	return runGrid(ctx, total, plan.Shard, plan.Skip, plan.Workers,
 		func(done <-chan struct{}, g int) result {
 			c := points[g/plan.Trials]
 			c.Interrupt = done
