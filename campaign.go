@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"multicast/internal/campaign"
+	"multicast/internal/chaos"
 	"multicast/internal/driver"
 	"multicast/internal/sim"
 )
@@ -41,7 +42,44 @@ const (
 	// CampaignShardRetry: a shard attempt failed and will be retried,
 	// resuming from its checkpoint.
 	CampaignShardRetry = driver.EventRetry
+	// CampaignShardDiscard: a corrupt or misdelivered shard artifact was
+	// deleted and its shard re-runs (Err carries the reason).
+	CampaignShardDiscard = driver.EventDiscard
 )
+
+// ErrCorruptArtifact marks a campaign artifact whose bytes cannot be
+// trusted (truncated mid-JSON, failing its content checksum); test with
+// errors.Is. ErrCorruptCheckpoint is its sibling for checkpoint
+// sidecars — that one is terminal on resume (see docs/OPERATIONS.md).
+var (
+	ErrCorruptArtifact   = campaign.ErrCorruptArtifact
+	ErrCorruptCheckpoint = campaign.ErrCorruptCheckpoint
+)
+
+// Chaos harness aliases: a ChaosPlan is a seeded fault schedule played
+// into a driven campaign by a ChaosInjector, every injection emitted as
+// a canonical ChaosEvent (see internal/chaos).
+type (
+	// ChaosPlan is a seeded, deterministic fault schedule.
+	ChaosPlan = chaos.Plan
+	// ChaosRule schedules one fault (see ParseChaosRules for the CLI
+	// grammar and the unset-value conventions).
+	ChaosRule = chaos.Rule
+	// ChaosEvent is one injected fault in the canonical, diffable log.
+	ChaosEvent = chaos.Event
+	// ChaosInjector plays one plan into one driven campaign.
+	ChaosInjector = chaos.Injector
+)
+
+// NewChaosInjector validates a fault schedule and returns its injector;
+// set it as CampaignPlan.Chaos. Create a fresh injector per campaign
+// run — rules fire at most once per injector.
+func NewChaosInjector(p ChaosPlan) (*ChaosInjector, error) { return chaos.New(p) }
+
+// ParseChaosRules parses the -chaos-faults grammar
+// (kind[@shard[:cell[:attempt]]], comma-separated; "*" = seeded
+// choice) into fault rules.
+func ParseChaosRules(s string) ([]ChaosRule, error) { return chaos.ParseRules(s) }
 
 // CampaignPlan describes a driven campaign: the whole (point × trial)
 // grid split into Shards shard workers that run concurrently, each
@@ -81,10 +119,15 @@ type CampaignPlan struct {
 	Engine Engine
 	// Progress, if non-nil, receives per-shard events.
 	Progress func(CampaignEvent)
+	// Chaos, if non-nil, injects the given seeded fault schedule into
+	// the run (tests and drills only). Implies keep-going supervision:
+	// healthy shards finish even when a sibling fails, so the schedule
+	// plays out deterministically.
+	Chaos *ChaosInjector
 }
 
 func (p CampaignPlan) driverOptions() driver.Options {
-	return driver.Options{
+	o := driver.Options{
 		Shards:          max(p.Shards, 1),
 		Workers:         p.Workers,
 		Retries:         p.Retries,
@@ -93,6 +136,10 @@ func (p CampaignPlan) driverOptions() driver.Options {
 		CheckpointEvery: p.CheckpointEvery,
 		Progress:        p.Progress,
 	}
+	if p.Chaos != nil {
+		o.Chaos = p.Chaos.Hooks()
+	}
+	return o
 }
 
 // RunCampaign drives a single-workload campaign: Trials independently

@@ -26,6 +26,8 @@ type driveFlags struct {
 	engine     multicast.Engine
 	crashAfter int
 	sumOut     string
+	chaos      *multicast.ChaosInjector
+	chaosLog   string
 }
 
 // campaignDir resolves the -campaign-dir default: next to the summary
@@ -41,7 +43,8 @@ func campaignDir(dir, sumOut string) string {
 }
 
 // plan translates the flags into the public campaign plan, wiring in
-// the progress printer (and the -crash-after testing aid).
+// the progress printer, the chaos injector, and the legacy -crash-after
+// testing aid.
 func (f driveFlags) plan(trials int) multicast.CampaignPlan {
 	return multicast.CampaignPlan{
 		Trials:          trials,
@@ -53,6 +56,7 @@ func (f driveFlags) plan(trials int) multicast.CampaignPlan {
 		CheckpointEvery: f.ckptEvery,
 		Engine:          f.engine,
 		Progress:        progressPrinter(f.crashAfter),
+		Chaos:           f.chaos,
 	}
 }
 
@@ -86,8 +90,34 @@ func progressPrinter(crashAfter int) func(multicast.CampaignEvent) {
 		case multicast.CampaignShardRetry:
 			fmt.Fprintf(os.Stderr, "shard %d: attempt %d failed (%v) — retrying from checkpoint\n",
 				ev.Shard, ev.Attempt, ev.Err)
+		case multicast.CampaignShardDiscard:
+			fmt.Fprintf(os.Stderr, "shard %d: discarded damaged artifact (%v) — regenerating\n",
+				ev.Shard, ev.Err)
 		}
 	}
+}
+
+// writeChaosLog reports the injected-fault count and persists the
+// canonical event log. It runs even when the chaos run failed — usually
+// it did, by design — because the log is exactly what a drill diffs
+// against CI's to prove the schedule replayed identically.
+func writeChaosLog(f driveFlags) error {
+	if f.chaos == nil {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "chaos: %d fault(s) injected\n", len(f.chaos.Events()))
+	if f.chaosLog == "" {
+		return nil
+	}
+	data, err := f.chaos.Log()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(f.chaosLog, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "chaos: event log written to %s\n", f.chaosLog)
+	return nil
 }
 
 // finishDrive prints and optionally persists the merged campaign
@@ -112,6 +142,9 @@ func driveSingle(ctx context.Context, cfg multicast.Config, trials int, f driveF
 		return driveExecCampaign(ctx, tmpl, trials, f)
 	}
 	sum, err := multicast.RunCampaign(ctx, cfg, f.plan(trials))
+	if lerr := writeChaosLog(f); lerr != nil && err == nil {
+		err = lerr
+	}
 	if err != nil {
 		return err
 	}
@@ -134,6 +167,9 @@ func driveScenario(ctx context.Context, name string, opts multicast.ScenarioOpti
 		return driveExecCampaign(ctx, tmpl, trials, f)
 	}
 	sum, err := multicast.RunScenarioCampaign(ctx, scen, opts, f.plan(trials))
+	if lerr := writeChaosLog(f); lerr != nil && err == nil {
+		err = lerr
+	}
 	if err != nil {
 		return err
 	}
@@ -187,6 +223,7 @@ func workerArgs() []string {
 	drop := map[string]bool{
 		"drive": true, "drive-exec": true, "resume": true, "campaign-dir": true,
 		"retries": true, "crash-after": true, "summary-out": true, "shard": true,
+		"chaos-seed": true, "chaos-faults": true, "chaos-log": true,
 		"timeout": true, // the parent enforces the deadline and kills children
 	}
 	var args []string

@@ -37,7 +37,16 @@
 //	# …killed mid-run? finish it:
 //	mcast -scenario duel -n 64 -trials 50000 -drive 3 -campaign-dir camp -resume -summary-out duel.json
 //
-// See docs/OPERATIONS.md for the cross-machine campaign playbook.
+// Chaos drills inject seeded, reproducible faults into a driven
+// campaign and leave a diffable fault log; resuming without the chaos
+// flags recovers the campaign bit-identically:
+//
+//	mcast -scenario duel -trials 50 -drive 3 -campaign-dir camp \
+//	  -chaos-seed 7 -chaos-faults crash@1:2 -chaos-log faults.jsonl
+//	mcast -scenario duel -trials 50 -drive 3 -campaign-dir camp -resume
+//
+// See docs/OPERATIONS.md for the cross-machine campaign playbook and
+// the chaos drill procedure.
 //
 // Adversaries: none, burst, fraction, random, sweep, pulse, bursty,
 // targeted (phase-targeted, for MultiCastAdv), and the adaptive pair
@@ -61,40 +70,43 @@ import (
 
 func main() {
 	var (
-		algName    = flag.String("alg", "multicast", "algorithm: multicastcore|multicast|multicast-c|multicastadv|multicastadv-c|singlechannel")
-		n          = flag.Int("n", 256, "number of nodes (power of two)")
-		channels   = flag.Int("channels", 0, "physical channels for the (C) variants")
-		advName    = flag.String("adv", "none", "adversary: none|burst|fraction|random|sweep|pulse|bursty|targeted|reactive|camper")
-		budget     = flag.Int64("budget", 0, "Eve's energy budget T")
-		frac       = flag.Float64("frac", 0.9, "jam fraction for fraction/random/pulse/targeted")
-		start      = flag.Int64("start", 0, "first jamming slot for burst")
-		width      = flag.Int("width", 8, "window width for sweep")
-		period     = flag.Int64("period", 128, "pulse period")
-		duty       = flag.Int64("duty", 64, "pulse duty slots")
-		stop       = flag.Int64("stop", 0, "stop all jamming at this slot (0 = never)")
-		targetJ    = flag.Int("target-j", -1, "phase number targeted by the targeted jammer (default lg n − 1)")
-		seed       = flag.Uint64("seed", 1, "base random seed")
-		trials     = flag.Int("trials", 1, "independent trials (parallel)")
-		maxSlots   = flag.Int64("max-slots", 0, "abort after this many slots (0 = default)")
-		trace      = flag.Bool("trace", false, "print a per-1000-slot trace of the first trial")
-		curve      = flag.Bool("curve", false, "print sparkline charts of the run (informed/halted/jammed/traffic)")
-		alpha      = flag.Float64("alpha", 0, "override MultiCastAdv α (0 = preset)")
-		engName    = flag.String("engine", "auto", "slot-loop engine: auto|dense|sparse (identical results; dense is the reference loop)")
-		shardStr   = flag.String("shard", "", "run shard i/k of the trial batch or sweep grid (e.g. 0/3); implies summary output")
-		sumOut     = flag.String("summary-out", "", "write the mergeable summary JSON to this path")
-		merge      = flag.Bool("merge", false, "merge the shard summary files given as arguments and print the combined summary")
-		workers    = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
-		scenName   = flag.String("scenario", "", "run a registry scenario sweep (-trials per point; overrides -alg/-adv; see -list-scenarios)")
-		listScen   = flag.Bool("list-scenarios", false, "list the scenario registry and exit")
-		quick      = flag.Bool("quick", false, "with -scenario: expand the trimmed (smoke-test) point list")
-		timeout    = flag.Duration("timeout", 0, "abort the whole run after this long (e.g. 30m; interrupts in-flight executions cleanly)")
-		drive      = flag.Int("drive", 0, "drive the campaign with this many supervised shard workers (checkpointed; see -campaign-dir)")
-		driveExec  = flag.Bool("drive-exec", false, "with -drive: launch shard workers as mcast subprocesses instead of in-process")
-		resume     = flag.Bool("resume", false, "with -drive: resume an interrupted campaign from -campaign-dir")
-		campDir    = flag.String("campaign-dir", "", "with -drive: directory for shard artifacts and checkpoints (default: <summary-out>.campaign or mcast-campaign)")
-		retries    = flag.Int("retries", 1, "with -drive: relaunches per failed shard before the campaign fails")
-		ckptEvery  = flag.Int("checkpoint-every", 1, "with -drive: grid cells between checkpoint flushes (1 = maximum crash safety; raise it to cut checkpoint I/O on huge campaigns)")
-		crashAfter = flag.Int("crash-after", 0, "with -drive: testing aid — kill the whole process after this many grid cells")
+		algName     = flag.String("alg", "multicast", "algorithm: multicastcore|multicast|multicast-c|multicastadv|multicastadv-c|singlechannel")
+		n           = flag.Int("n", 256, "number of nodes (power of two)")
+		channels    = flag.Int("channels", 0, "physical channels for the (C) variants")
+		advName     = flag.String("adv", "none", "adversary: none|burst|fraction|random|sweep|pulse|bursty|targeted|reactive|camper")
+		budget      = flag.Int64("budget", 0, "Eve's energy budget T")
+		frac        = flag.Float64("frac", 0.9, "jam fraction for fraction/random/pulse/targeted")
+		start       = flag.Int64("start", 0, "first jamming slot for burst")
+		width       = flag.Int("width", 8, "window width for sweep")
+		period      = flag.Int64("period", 128, "pulse period")
+		duty        = flag.Int64("duty", 64, "pulse duty slots")
+		stop        = flag.Int64("stop", 0, "stop all jamming at this slot (0 = never)")
+		targetJ     = flag.Int("target-j", -1, "phase number targeted by the targeted jammer (default lg n − 1)")
+		seed        = flag.Uint64("seed", 1, "base random seed")
+		trials      = flag.Int("trials", 1, "independent trials (parallel)")
+		maxSlots    = flag.Int64("max-slots", 0, "abort after this many slots (0 = default)")
+		trace       = flag.Bool("trace", false, "print a per-1000-slot trace of the first trial")
+		curve       = flag.Bool("curve", false, "print sparkline charts of the run (informed/halted/jammed/traffic)")
+		alpha       = flag.Float64("alpha", 0, "override MultiCastAdv α (0 = preset)")
+		engName     = flag.String("engine", "auto", "slot-loop engine: auto|dense|sparse (identical results; dense is the reference loop)")
+		shardStr    = flag.String("shard", "", "run shard i/k of the trial batch or sweep grid (e.g. 0/3); implies summary output")
+		sumOut      = flag.String("summary-out", "", "write the mergeable summary JSON to this path")
+		merge       = flag.Bool("merge", false, "merge the shard summary files given as arguments and print the combined summary")
+		workers     = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
+		scenName    = flag.String("scenario", "", "run a registry scenario sweep (-trials per point; overrides -alg/-adv; see -list-scenarios)")
+		listScen    = flag.Bool("list-scenarios", false, "list the scenario registry and exit")
+		quick       = flag.Bool("quick", false, "with -scenario: expand the trimmed (smoke-test) point list")
+		timeout     = flag.Duration("timeout", 0, "abort the whole run after this long (e.g. 30m; interrupts in-flight executions cleanly)")
+		drive       = flag.Int("drive", 0, "drive the campaign with this many supervised shard workers (checkpointed; see -campaign-dir)")
+		driveExec   = flag.Bool("drive-exec", false, "with -drive: launch shard workers as mcast subprocesses instead of in-process")
+		resume      = flag.Bool("resume", false, "with -drive: resume an interrupted campaign from -campaign-dir")
+		campDir     = flag.String("campaign-dir", "", "with -drive: directory for shard artifacts and checkpoints (default: <summary-out>.campaign or mcast-campaign)")
+		retries     = flag.Int("retries", 1, "with -drive: relaunches per failed shard before the campaign fails")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "with -drive: grid cells between checkpoint flushes (1 = maximum crash safety; raise it to cut checkpoint I/O on huge campaigns)")
+		crashAfter  = flag.Int("crash-after", 0, "with -drive: legacy alias of the chaos harness — kill the whole process after this many grid cells (prefer -chaos-faults crash@…)")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "with -chaos-faults: seed resolving every choice a fault rule leaves open (shard, cell, cut offset, flipped bit)")
+		chaosFaults = flag.String("chaos-faults", "", "with -drive: inject seeded faults — comma-separated kind[@shard[:cell[:attempt]]] rules, * = seeded choice (kinds: crash|torn-flush|corrupt-checkpoint|truncate-artifact|bit-flip-artifact|duplicate-shard|stall)")
+		chaosLog    = flag.String("chaos-log", "", "with -chaos-faults: write the canonical chaos event log (JSON lines) to this path")
 	)
 	flag.Parse()
 	// Overrides like -n only reach a scenario when given explicitly —
@@ -112,7 +124,8 @@ func main() {
 		fatal(fmt.Errorf("-drive %d: shard worker count must be positive", *drive))
 	}
 	if *drive == 0 {
-		for _, name := range []string{"drive-exec", "resume", "campaign-dir", "retries", "checkpoint-every", "crash-after"} {
+		for _, name := range []string{"drive-exec", "resume", "campaign-dir", "retries", "checkpoint-every",
+			"crash-after", "chaos-seed", "chaos-faults", "chaos-log"} {
 			if setFlags[name] {
 				fatal(fmt.Errorf("-%s requires -drive", name))
 			}
@@ -128,12 +141,22 @@ func main() {
 			// Subprocess workers neither checkpoint through the parent
 			// nor report cells to it — refuse the knobs instead of
 			// silently ignoring them.
-			for _, name := range []string{"checkpoint-every", "crash-after"} {
+			for _, name := range []string{"checkpoint-every", "crash-after", "chaos-seed", "chaos-faults", "chaos-log"} {
 				if setFlags[name] {
 					fatal(fmt.Errorf("-%s has no effect with -drive-exec (subprocess workers restart from scratch)", name))
 				}
 			}
 		}
+		if *chaosFaults == "" && (setFlags["chaos-seed"] || setFlags["chaos-log"]) {
+			fatal(fmt.Errorf("-chaos-seed and -chaos-log require -chaos-faults (the fault schedule)"))
+		}
+	}
+	var chaosInj *multicast.ChaosInjector
+	if *chaosFaults != "" {
+		rules, err := multicast.ParseChaosRules(*chaosFaults)
+		fatal(err)
+		chaosInj, err = multicast.NewChaosInjector(multicast.ChaosPlan{Seed: *chaosSeed, Faults: rules})
+		fatal(err)
 	}
 
 	ctx := context.Background()
@@ -167,6 +190,7 @@ func main() {
 			"trials": true, "engine": true, "workers": true, "shard": true, "summary-out": true,
 			"timeout": true, "drive": true, "drive-exec": true, "resume": true,
 			"campaign-dir": true, "retries": true, "checkpoint-every": true, "crash-after": true,
+			"chaos-seed": true, "chaos-faults": true, "chaos-log": true,
 		}
 		for name := range setFlags {
 			if !scenFlags[name] {
@@ -190,6 +214,7 @@ func main() {
 				dir: campaignDir(*campDir, *sumOut), workers: *workers,
 				retries: *retries, ckptEvery: *ckptEvery, engine: engine,
 				crashAfter: *crashAfter, sumOut: *sumOut,
+				chaos: chaosInj, chaosLog: *chaosLog,
 			})))
 			return
 		}
@@ -275,6 +300,7 @@ func main() {
 			dir: campaignDir(*campDir, *sumOut), workers: *workers,
 			retries: *retries, ckptEvery: *ckptEvery, engine: engine,
 			crashAfter: *crashAfter, sumOut: *sumOut,
+			chaos: chaosInj, chaosLog: *chaosLog,
 		})))
 		return
 	}

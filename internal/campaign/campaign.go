@@ -14,17 +14,28 @@
 // Files carry a schema_version field and readers refuse any version
 // they do not know (including pre-versioned legacy files, which read as
 // version 0): silently decoding a future tool's artifact would drop its
-// unknown fields and corrupt a merge.
+// unknown fields and corrupt a merge. Since version 2 every file also
+// carries a content checksum, so an artifact damaged in flight — torn,
+// truncated, or bit-flipped anywhere that matters — reads as
+// ErrCorruptArtifact instead of being folded into a merge.
 //
 // The package also owns per-shard checkpointing (see Checkpointer): a
 // sidecar progress file updated at grid-cell granularity, so an
 // interrupted shard worker resumes at its next undone cell and still
 // produces a bit-identical artifact — the mechanism under
 // internal/driver's crash recovery and cmd/mcast -resume.
+//
+// Both write paths expose fault points (Fault, FaultPoint) so the
+// chaos harness (internal/chaos) can deterministically tear a
+// checkpoint flush or corrupt an artifact write; production writes pass
+// a nil fault point and are untouched.
 package campaign
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -34,8 +45,24 @@ import (
 
 // SchemaVersion is the artifact schema this package reads and writes.
 // Bump it on any incompatible change to the file layout; readers refuse
-// other versions by name.
-const SchemaVersion = 1
+// other versions by name. Version 2 added the mandatory content
+// checksum.
+const SchemaVersion = 2
+
+// ErrCorruptArtifact marks a summary artifact whose bytes cannot be
+// trusted: truncated mid-JSON, failing its content checksum, or
+// otherwise undecodable. Wrapped into Read errors; test with errors.Is.
+// Distinct from a schema-version refusal (an intact file from another
+// tool) and from an identity mismatch (an intact file from another
+// campaign).
+var ErrCorruptArtifact = errors.New("corrupt campaign artifact")
+
+// ErrCorruptCheckpoint is ErrCorruptArtifact's sibling for checkpoint
+// sidecars: a torn, truncated, or internally inconsistent progress
+// file. Resuming over one would corrupt the shard artifact silently, so
+// Checkpointer.Resume refuses it; internal/driver treats the refusal as
+// terminal (deterministic — retrying replays it).
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint sidecar")
 
 // Tool is the tool name stamped into artifacts (informational; not part
 // of the campaign identity).
@@ -65,6 +92,11 @@ type Summary struct {
 	SchemaVersion int `json:"schema_version"`
 	// Tool names the writing tool (informational).
 	Tool string `json:"tool"`
+	// Checksum is the hex sha256 of the summary's compact JSON encoding
+	// with this field empty. Write stamps it; Read recomputes and
+	// refuses a mismatch as ErrCorruptArtifact, so silent damage (a
+	// flipped bit, a surviving truncation) cannot reach a merge.
+	Checksum string `json:"checksum"`
 	// Scenario is the registry scenario name; empty for single-workload
 	// campaigns.
 	Scenario string `json:"scenario,omitempty"`
@@ -110,6 +142,7 @@ func New(scenario string, seed uint64, trials int, points []Point) *Summary {
 // a shard worker.
 func (s *Summary) CloneEmpty() *Summary {
 	out := *s
+	out.Checksum = "" // content digest of a different payload
 	out.Points = make([]Point, len(s.Points))
 	for i, p := range s.Points {
 		out.Points[i] = Point{Label: p.Label, Workload: p.Workload, Collector: runner.NewCollector()}
@@ -186,9 +219,26 @@ func (s *Summary) Validate() error {
 	return nil
 }
 
+// checksum returns the hex sha256 content digest of s: the compact JSON
+// encoding with the Checksum field empty. Stable under decode→encode
+// round trips (pinned by the artifact round-trip test), so Read can
+// verify what Write stamped.
+func (s *Summary) checksum() (string, error) {
+	c := *s
+	c.Checksum = ""
+	data, err := json.Marshal(&c)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // Read loads and validates one summary artifact. The schema version is
-// probed before the payload decodes, so a future tool's file fails with
-// the version message, not a shape mismatch.
+// probed before the payload decodes, so a future tool's intact file
+// fails with the version message; undecodable bytes (truncated
+// mid-JSON) and checksum mismatches fail with a wrapped
+// ErrCorruptArtifact.
 func Read(path string) (*Summary, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -198,14 +248,22 @@ func Read(path string) (*Summary, error) {
 		SchemaVersion int `json:"schema_version"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w: %v", path, ErrCorruptArtifact, err)
 	}
 	if err := checkVersion(probe.SchemaVersion); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	var s Summary
 	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w: %v", path, ErrCorruptArtifact, err)
+	}
+	want, err := s.checksum()
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Checksum != want {
+		return nil, fmt.Errorf("%s: %w: checksum %q does not match content digest %q",
+			path, ErrCorruptArtifact, s.Checksum, want)
 	}
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
@@ -213,19 +271,72 @@ func Read(path string) (*Summary, error) {
 	return &s, nil
 }
 
-// Write stamps the schema version and tool name and writes s as
-// indented JSON, atomically (write-then-rename), so a crash mid-write
-// never leaves a torn artifact for -resume or -merge to trip over.
-func (s *Summary) Write(path string) error {
+// Write stamps the schema version, tool name, and content checksum and
+// writes s as indented JSON, atomically (write-then-rename), so a crash
+// mid-write never leaves a torn artifact for -resume or -merge to trip
+// over.
+func (s *Summary) Write(path string) error { return s.WriteWithFault(path, nil) }
+
+// WriteWithFault is Write with a fault point: fp (if non-nil) sees the
+// exact bytes about to be written and may inject a storage failure in
+// their place. The chaos harness's artifact-corruption seam; production
+// callers use Write.
+func (s *Summary) WriteWithFault(path string, fp FaultPoint) error {
 	s.SchemaVersion = SchemaVersion
 	if s.Tool == "" {
 		s.Tool = Tool
 	}
+	sum, err := s.checksum()
+	if err != nil {
+		return err
+	}
+	s.Checksum = sum
 	data, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return err
 	}
-	return writeAtomic(path, append(data, '\n'))
+	data = append(data, '\n')
+	if fp != nil {
+		if f := fp(data); f != nil {
+			return f.apply(path)
+		}
+	}
+	return writeAtomic(path, data)
+}
+
+// Fault is one injected storage failure at a campaign fault point,
+// describing what lands on disk instead of the real payload and what
+// the writer is told about it.
+type Fault struct {
+	// Data is written in place of the real payload (typically a
+	// truncated or bit-flipped copy of it).
+	Data []byte
+	// Err is returned to the writer after the faulty write — the
+	// simulated crash. A nil Err is silent corruption: the writer
+	// believes the write succeeded.
+	Err error
+	// Torn writes Data directly over the destination file — an in-place
+	// tear, as a failing disk would leave it. Without Torn, Data lands
+	// only in the write-then-rename temp file and the rename never runs
+	// (a crash between write and rename), leaving any previous file
+	// intact.
+	Torn bool
+}
+
+// FaultPoint inspects the payload about to be written and returns the
+// fault to inject, or nil to let the write proceed untouched.
+type FaultPoint func(data []byte) *Fault
+
+// apply lands the fault on disk and returns its injected error.
+func (f *Fault) apply(path string) error {
+	dst := path + ".tmp"
+	if f.Torn {
+		dst = path
+	}
+	if err := os.WriteFile(dst, f.Data, 0o644); err != nil {
+		return err
+	}
+	return f.Err
 }
 
 // writeAtomic writes data to a same-directory temp file and renames it

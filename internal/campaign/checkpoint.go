@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,9 +21,27 @@ import (
 // exact accumulator insertion order and keeps the finished artifact
 // bit-identical to an uninterrupted run's.
 type checkpointFile struct {
-	SchemaVersion int      `json:"schema_version"`
-	DoneCells     int      `json:"done_cells"`
-	Summary       *Summary `json:"summary"`
+	SchemaVersion int `json:"schema_version"`
+	// Checksum is the hex sha256 of the file's compact JSON encoding
+	// with this field empty — same scheme as Summary.Checksum, so a
+	// torn or bit-flipped sidecar reads as ErrCorruptCheckpoint instead
+	// of resuming from damaged state.
+	Checksum  string   `json:"checksum"`
+	DoneCells int      `json:"done_cells"`
+	Summary   *Summary `json:"summary"`
+}
+
+// digest returns f's content checksum (hex sha256 of the compact
+// encoding with the Checksum field empty).
+func (f *checkpointFile) digest() (string, error) {
+	c := *f
+	c.Checksum = ""
+	data, err := json.Marshal(&c)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Checkpointer folds a shard's grid cells into its summary and persists
@@ -36,6 +56,12 @@ type Checkpointer struct {
 	done  int
 	dirty int // cells folded in since the last flush
 	sum   *Summary
+
+	// Fault, when non-nil, sees every flush's payload bytes and may
+	// inject a storage failure in their place (see FaultPoint) — the
+	// chaos harness's torn-flush seam. Set it before the first Add;
+	// production checkpointers leave it nil.
+	Fault FaultPoint
 }
 
 // NewCheckpointer returns a checkpointer persisting to path, starting
@@ -51,9 +77,12 @@ func NewCheckpointer(path string, template *Summary, every int) *Checkpointer {
 
 // Resume loads the checkpoint file if it exists and adopts its state,
 // returning the number of cells already done (0 when there is no
-// checkpoint yet). A checkpoint from a different campaign or shard, an
-// unknown schema version, or an internally inconsistent state is an
-// error — resuming over it would corrupt the artifact silently.
+// checkpoint yet). A checkpoint from a different campaign or shard or
+// with an unknown schema version is an error, and a torn, truncated,
+// checksum-failing, or internally inconsistent sidecar is a wrapped
+// ErrCorruptCheckpoint — resuming over either would corrupt the
+// artifact silently. The refusals are deterministic: retrying replays
+// them, so internal/driver treats them as terminal.
 func (c *Checkpointer) Resume() (int, error) {
 	data, err := os.ReadFile(c.path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -66,17 +95,25 @@ func (c *Checkpointer) Resume() (int, error) {
 		SchemaVersion int `json:"schema_version"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
-		return 0, fmt.Errorf("checkpoint %s: %w", c.path, err)
+		return 0, fmt.Errorf("checkpoint %s: %w: %v", c.path, ErrCorruptCheckpoint, err)
 	}
 	if err := checkVersion(probe.SchemaVersion); err != nil {
 		return 0, fmt.Errorf("checkpoint %s: %w", c.path, err)
 	}
 	var f checkpointFile
 	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("checkpoint %s: %w: %v", c.path, ErrCorruptCheckpoint, err)
+	}
+	want, err := f.digest()
+	if err != nil {
 		return 0, fmt.Errorf("checkpoint %s: %w", c.path, err)
 	}
+	if f.Checksum != want {
+		return 0, fmt.Errorf("checkpoint %s: %w: checksum %q does not match content digest %q",
+			c.path, ErrCorruptCheckpoint, f.Checksum, want)
+	}
 	if f.Summary == nil {
-		return 0, fmt.Errorf("checkpoint %s: no summary payload", c.path)
+		return 0, fmt.Errorf("checkpoint %s: %w: no summary payload", c.path, ErrCorruptCheckpoint)
 	}
 	if err := f.Summary.Validate(); err != nil {
 		return 0, fmt.Errorf("checkpoint %s: %w", c.path, err)
@@ -90,8 +127,8 @@ func (c *Checkpointer) Resume() (int, error) {
 			c.path, f.Summary.ShardIndex, f.Summary.ShardCount, c.sum.ShardIndex, c.sum.ShardCount)
 	}
 	if f.DoneCells < 0 || f.Summary.Cells() != int64(f.DoneCells) {
-		return 0, fmt.Errorf("checkpoint %s: %d cells recorded but collectors hold %d — corrupt checkpoint",
-			c.path, f.DoneCells, f.Summary.Cells())
+		return 0, fmt.Errorf("checkpoint %s: %w: %d cells recorded but collectors hold %d",
+			c.path, ErrCorruptCheckpoint, f.DoneCells, f.Summary.Cells())
 	}
 	c.sum = f.Summary
 	c.done = f.DoneCells
@@ -116,16 +153,29 @@ func (c *Checkpointer) Add(point, trial int, m sim.Metrics) error {
 	return nil
 }
 
-// Flush persists the current state atomically (write-then-rename): a
-// crash mid-flush leaves the previous checkpoint intact.
+// Flush persists the current state, checksummed and atomically
+// (write-then-rename): a crash mid-flush leaves the previous checkpoint
+// intact. A configured Fault point may tear or corrupt the write
+// instead.
 func (c *Checkpointer) Flush() error {
-	data, err := json.Marshal(checkpointFile{
+	f := checkpointFile{
 		SchemaVersion: SchemaVersion,
 		DoneCells:     c.done,
 		Summary:       c.sum,
-	})
+	}
+	sum, err := f.digest()
 	if err != nil {
 		return err
+	}
+	f.Checksum = sum
+	data, err := json.Marshal(&f)
+	if err != nil {
+		return err
+	}
+	if c.Fault != nil {
+		if flt := c.Fault(data); flt != nil {
+			return flt.apply(c.path)
+		}
 	}
 	if err := writeAtomic(c.path, data); err != nil {
 		return err

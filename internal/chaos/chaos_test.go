@@ -1,0 +1,270 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"multicast/internal/driver"
+)
+
+func TestParseRulesGrammar(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []Rule
+	}{
+		{"crash@1:2", []Rule{{Kind: KindCrash, Shard: 1, Cell: 2, Attempt: 0, From: -1}}},
+		{"crash", []Rule{{Kind: KindCrash, Shard: -1, Cell: -1, Attempt: 0, From: -1}}},
+		{"stall@*:3", []Rule{{Kind: KindStall, Shard: -1, Cell: 3, Attempt: 0, From: -1}}},
+		{"torn-flush@0:2:1", []Rule{{Kind: KindTornFlush, Shard: 0, Cell: 2, Attempt: 1, From: -1}}},
+		{"crash@1:2:*", []Rule{{Kind: KindCrash, Shard: 1, Cell: 2, Attempt: -1, From: -1}}},
+		{"truncate-artifact@1", []Rule{{Kind: KindTruncateArtifact, Shard: 1, Cell: -1, Attempt: 0, From: -1}}},
+		{"bit-flip-artifact", []Rule{{Kind: KindBitFlipArtifact, Shard: -1, Cell: -1, Attempt: 0, From: -1}}},
+		{"duplicate-shard@2:0", []Rule{{Kind: KindDuplicateShard, Shard: 2, Cell: -1, Attempt: 0, From: 0}}},
+		{"duplicate-shard", []Rule{{Kind: KindDuplicateShard, Shard: -1, Cell: -1, Attempt: 0, From: -1}}},
+		{"crash@0:1, corrupt-checkpoint@1:2", []Rule{
+			{Kind: KindCrash, Shard: 0, Cell: 1, Attempt: 0, From: -1},
+			{Kind: KindCorruptCheckpoint, Shard: 1, Cell: 2, Attempt: 0, From: -1},
+		}},
+	}
+	for _, c := range cases {
+		got, err := ParseRules(c.in)
+		if err != nil {
+			t.Errorf("ParseRules(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseRules(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRulesRejections(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // error substring
+	}{
+		{"", "no fault rules"},
+		{" , ", "no fault rules"},
+		{"power-surge@1", "unknown fault kind"},
+		{"crash@1:0", "1-based"},
+		{"truncate-artifact@1:2", "does not take a cell"},
+		{"duplicate-shard@1:1", "source and target are both shard 1"},
+		{"crash@1:2:3:4", "too many fields"},
+		{"crash@x", "non-negative integer"},
+		{"crash@-2", "non-negative integer"},
+	}
+	for _, c := range cases {
+		_, err := ParseRules(c.in)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseRules(%q): err = %v, want %q", c.in, err, c.want)
+		}
+	}
+}
+
+func TestNewRejectsInvalidRules(t *testing.T) {
+	cases := []Rule{
+		{Kind: "bogus", Shard: -1, Cell: -1, Attempt: 0, From: -1},
+		{Kind: KindCrash, Shard: -1, Cell: 0, Attempt: 0, From: -1},           // cells are 1-based
+		{Kind: KindCrash, Shard: -1, Cell: 1, Attempt: 0, From: 2},            // From is dup-only
+		{Kind: KindDuplicateShard, Shard: 1, Cell: 0, Attempt: 0, From: 1},    // self-delivery
+		{Kind: KindTruncateArtifact, Shard: 0, Cell: 3, Attempt: 0, From: -1}, // no trigger cell
+	}
+	for _, r := range cases {
+		if _, err := New(Plan{Seed: 1, Faults: []Rule{r}}); err == nil {
+			t.Errorf("New accepted invalid rule %+v", r)
+		}
+	}
+}
+
+// Playing the same plan through two injectors — with the hook calls
+// interleaved differently, as racing shard goroutines would — must
+// produce byte-identical canonical logs.
+func TestEventLogCanonical(t *testing.T) {
+	plan := Plan{Seed: 11, Faults: []Rule{
+		{Kind: KindCrash, Shard: 0, Cell: 2, Attempt: 0, From: -1},
+		{Kind: KindTornFlush, Shard: 1, Cell: 1, Attempt: 0, From: -1},
+	}}
+	data := []byte(`{"cells":1,"payload":"0123456789abcdef"}`)
+
+	play := func(order []int) *Injector {
+		in, err := New(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.begin(2)
+		in.arm(0, 0, 0, 6)
+		in.arm(1, 0, 0, 6)
+		for _, shard := range order {
+			if shard == 0 {
+				in.cell(context.Background(), 0, 0, 1)
+				in.cell(context.Background(), 0, 0, 2) // fires the crash
+			} else {
+				in.checkpointFault(1, 0, data) // flush 1 fires the tear
+			}
+		}
+		return in
+	}
+
+	a, b := play([]int{0, 1}), play([]int{1, 0})
+	evA, evB := a.Events(), b.Events()
+	if len(evA) != 2 {
+		t.Fatalf("got %d events, want 2: %+v", len(evA), evA)
+	}
+	if !reflect.DeepEqual(evA, evB) {
+		t.Errorf("interleaving changed the canonical log:\n a: %+v\n b: %+v", evA, evB)
+	}
+	logA, errA := a.Log()
+	logB, errB := b.Log()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if !bytes.Equal(logA, logB) {
+		t.Errorf("serialized logs differ:\n a: %s\n b: %s", logA, logB)
+	}
+	for i, ev := range evA {
+		if ev.Seq != i {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+// Seeded wildcards (shard, cell, cut offsets) must resolve identically
+// across injectors built from the same plan, and rules fire at most
+// once.
+func TestSeededWildcardsDeterministic(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 99} {
+		plan := Plan{Seed: seed, Faults: []Rule{
+			{Kind: KindCrash, Shard: -1, Cell: -1, Attempt: -1, From: -1},
+			{Kind: KindDuplicateShard, Shard: -1, Cell: -1, Attempt: 0, From: -1},
+		}}
+		resolve := func() []Rule {
+			in, err := New(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in.begin(3)
+			for s := 0; s < 3; s++ {
+				in.arm(s, 0, 0, 4)
+			}
+			var out []Rule
+			for _, r := range in.rules {
+				out = append(out, r.Rule)
+			}
+			return out
+		}
+		a, b := resolve(), resolve()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("seed %d: wildcard resolution diverged:\n a: %+v\n b: %+v", seed, a, b)
+		}
+		for _, r := range a {
+			if r.Shard < 0 || r.Shard > 2 {
+				t.Errorf("seed %d: shard resolved to %d", seed, r.Shard)
+			}
+			if r.Kind == KindDuplicateShard && (r.From < 0 || r.From > 2 || r.From == r.Shard) {
+				t.Errorf("seed %d: duplicate-shard resolved to %d<-%d", seed, r.Shard, r.From)
+			}
+			if r.Kind == KindCrash && (r.Cell < 1 || r.Cell > 4) {
+				t.Errorf("seed %d: cell resolved to %d of 4", seed, r.Cell)
+			}
+		}
+	}
+}
+
+func TestRulesFireAtMostOnce(t *testing.T) {
+	in, err := New(Plan{Seed: 3, Faults: []Rule{
+		{Kind: KindCrash, Shard: 0, Cell: 2, Attempt: -1, From: -1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.begin(1)
+	in.arm(0, 0, 0, 4)
+	if err := in.cell(context.Background(), 0, 0, 2); !errors.Is(err, driver.ErrInjected) {
+		t.Fatalf("first trigger: err = %v, want ErrInjected", err)
+	}
+	if err := in.cell(context.Background(), 0, 1, 2); err != nil {
+		t.Fatalf("rule fired twice: %v", err)
+	}
+	if n := len(in.Events()); n != 1 {
+		t.Errorf("%d events, want 1", n)
+	}
+}
+
+// Rules targeting shards outside the actual split are disabled at
+// begin, not left to dangle or fire on a wrapped index.
+func TestBeginDisablesOutOfRangeTargets(t *testing.T) {
+	in, err := New(Plan{Seed: 3, Faults: []Rule{
+		{Kind: KindCrash, Shard: 5, Cell: 1, Attempt: -1, From: -1},
+		{Kind: KindDuplicateShard, Shard: 0, Cell: -1, Attempt: 0, From: -1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.begin(1) // shard 5 doesn't exist; duplicate has no source to draw
+	in.arm(0, 0, 0, 4)
+	if err := in.cell(context.Background(), 0, 0, 1); err != nil {
+		t.Fatalf("disabled rule fired: %v", err)
+	}
+	if err := in.gather(t.TempDir(), 1); err != nil {
+		t.Fatalf("gather: %v", err)
+	}
+	if n := len(in.Events()); n != 0 {
+		t.Errorf("%d events from disabled rules, want 0", n)
+	}
+}
+
+// The checkpoint fault kinds differ exactly in where the torn bytes
+// land: torn-flush inside the never-renamed temp file, corrupt-
+// checkpoint in the sidecar itself; both kill the worker.
+func TestCheckpointFaultShapes(t *testing.T) {
+	data := []byte(`{"done_cells":3,"checksum":"abcdef0123456789"}`)
+	in, err := New(Plan{Seed: 5, Faults: []Rule{
+		{Kind: KindTornFlush, Shard: 0, Cell: 1, Attempt: 0, From: -1},
+		{Kind: KindCorruptCheckpoint, Shard: 1, Cell: 1, Attempt: 0, From: -1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.begin(2)
+
+	torn := in.checkpointFault(0, 0, data)
+	if torn == nil || torn.Torn || !errors.Is(torn.Err, driver.ErrInjected) {
+		t.Fatalf("torn-flush fault = %+v, want tmp-file tear with an injected crash", torn)
+	}
+	if len(torn.Data) >= len(data) || !bytes.HasPrefix(data, torn.Data) {
+		t.Errorf("torn-flush wrote %d of %d bytes, want a proper prefix", len(torn.Data), len(data))
+	}
+
+	corrupt := in.checkpointFault(1, 0, data)
+	if corrupt == nil || !corrupt.Torn || !errors.Is(corrupt.Err, driver.ErrInjected) {
+		t.Fatalf("corrupt-checkpoint fault = %+v, want in-place tear with an injected crash", corrupt)
+	}
+
+	// Artifact faults are silent: damage without an error.
+	in2, err := New(Plan{Seed: 5, Faults: []Rule{
+		{Kind: KindBitFlipArtifact, Shard: 0, Cell: -1, Attempt: 0, From: -1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2.begin(1)
+	flip := in2.artifactFault(0, 0, data)
+	if flip == nil || !flip.Torn || flip.Err != nil {
+		t.Fatalf("bit-flip fault = %+v, want silent in-place damage", flip)
+	}
+	diff := 0
+	for i := range data {
+		for b := 0; b < 8; b++ {
+			if (data[i]^flip.Data[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("bit-flip changed %d bits, want exactly 1", diff)
+	}
+}

@@ -14,6 +14,14 @@
 // coordination medium, which is what makes a driven campaign
 // killable: re-running with Options.Resume skips shards whose
 // artifacts are complete, resumes checkpointed ones, and re-merges.
+//
+// Options.Chaos is the driver's fault-injection seam: internal/chaos
+// plugs deterministic, seeded failures into the spawn/checkpoint/
+// gather path through it (see ChaosHooks). Gathering is self-healing
+// against non-foreign damage — a corrupt or misdelivered shard artifact
+// is discarded and its shard re-run — while corrupt checkpoints and
+// foreign artifacts stay hard errors, because regenerating over them
+// could silently discard another campaign's work.
 package driver
 
 import (
@@ -59,7 +67,17 @@ const (
 	// EventRetry: a shard attempt failed and will be retried (resuming
 	// from its checkpoint when one exists).
 	EventRetry EventKind = "retry"
+	// EventDiscard: a shard artifact on disk was corrupt or misdelivered
+	// (wrong shard slot, same campaign) and has been deleted; the shard
+	// re-runs. Err carries the reason.
+	EventDiscard EventKind = "discard"
 )
+
+// ErrInjected marks a failure injected by the chaos harness (see
+// internal/chaos). The driver uses it to skip best-effort rescue work a
+// real crash could not have performed — e.g. the tail checkpoint flush
+// after a simulated process death.
+var ErrInjected = errors.New("injected chaos fault")
 
 // Event is one per-shard progress notification. Events are delivered
 // serially (never concurrently) but interleave across shards.
@@ -111,6 +129,44 @@ type Options struct {
 	// in-process shard; an error fails the shard attempt as if the
 	// worker had crashed there.
 	CellHook func(shard, attempt, done int) error
+	// Chaos, if non-nil, injects deterministic faults into the campaign
+	// fabric (see ChaosHooks and internal/chaos). Implies KeepGoing so
+	// every scheduled fault point is reached regardless of sibling
+	// failures.
+	Chaos *ChaosHooks
+	// KeepGoing keeps healthy shards running after another shard fails,
+	// instead of cancelling the fleet on the first error. The failing
+	// shard with the lowest index names the run's error.
+	KeepGoing bool
+}
+
+// ChaosHooks is the driver's fault-injection seam. Every field is
+// optional; nil hooks are skipped. internal/chaos provides the standard
+// implementation — a seeded, deterministic schedule — but the driver
+// only depends on this shape, so tests can hand-roll hooks too. The
+// per-cell and per-flush hooks apply to in-process workers; Begin and
+// Gather also cover subprocess runs.
+type ChaosHooks struct {
+	// Begin is called once per Run before workers launch, with the
+	// shard count — the point where seeded wildcard targets resolve.
+	Begin func(shards int)
+	// Arm is called as a shard worker attempt starts, after checkpoint
+	// resume: done cells are already covered, cells is the shard's
+	// local slice size.
+	Arm func(shard, attempt, done, cells int)
+	// Cell is called after each checkpointed cell; returning an error
+	// crashes the worker there, and blocking on ctx simulates a stalled
+	// worker.
+	Cell func(ctx context.Context, shard, attempt, done int) error
+	// CheckpointFault may replace a checkpoint flush with a storage
+	// fault (the payload bytes are what Flush would have written).
+	CheckpointFault func(shard, attempt int, data []byte) *campaign.Fault
+	// ArtifactFault may replace a shard artifact write with a storage
+	// fault.
+	ArtifactFault func(shard, attempt int, data []byte) *campaign.Fault
+	// Gather is called after all shards succeed, before the merge — the
+	// seam for delivery faults (duplicated or swapped artifacts).
+	Gather func(dir string, shards int) error
 }
 
 // ArtifactPath returns the shard artifact path within dir the driver
@@ -119,8 +175,10 @@ func ArtifactPath(dir string, shard int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%d.json", shard))
 }
 
-// checkpointPath returns the shard checkpoint sidecar path within dir.
-func checkpointPath(dir string, shard int) string {
+// CheckpointPath returns the shard checkpoint sidecar path within dir —
+// exported so operators (and chaos drills) can name the sidecar to
+// inspect or remove when a corrupt-checkpoint refusal asks for it.
+func CheckpointPath(dir string, shard int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%d.ckpt.json", shard))
 }
 
@@ -168,6 +226,13 @@ func Run(ctx context.Context, spec Spec, opts Options) (*campaign.Summary, error
 	if d.opts.Workers == 0 && d.opts.Spawn == nil {
 		d.opts.Workers = max(1, runtime.GOMAXPROCS(0)/opts.Shards)
 	}
+	// Under chaos, sibling cancellation would make which fault points
+	// are reached depend on goroutine timing; keep the fleet going so a
+	// seeded schedule always plays out the same way.
+	keepGoing := opts.KeepGoing || opts.Chaos != nil
+	if c := d.opts.Chaos; c != nil && c.Begin != nil {
+		c.Begin(opts.Shards)
+	}
 
 	var wg sync.WaitGroup
 	runCtx, cancel := context.WithCancel(ctx)
@@ -179,12 +244,15 @@ func Run(ctx context.Context, spec Spec, opts Options) (*campaign.Summary, error
 			defer wg.Done()
 			if err := d.runShard(runCtx, i); err != nil {
 				errs[i] = err
-				cancel() // first failure stops the fleet; checkpoints survive
+				if !keepGoing {
+					cancel() // first failure stops the fleet; checkpoints survive
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	// The failing shard's error, not a sibling's cancellation echo.
+	// The lowest-index failing shard's error (deterministic), not a
+	// sibling's cancellation echo.
 	var firstErr error
 	for _, err := range errs {
 		if err != nil && !errors.Is(err, context.Canceled) {
@@ -202,6 +270,11 @@ func Run(ctx context.Context, spec Spec, opts Options) (*campaign.Summary, error
 		return nil, err
 	}
 
+	if c := d.opts.Chaos; c != nil && c.Gather != nil {
+		if err := c.Gather(d.opts.Dir, d.opts.Shards); err != nil {
+			return nil, err
+		}
+	}
 	paths := make([]string, opts.Shards)
 	for i := range paths {
 		paths[i] = ArtifactPath(opts.Dir, i)
@@ -260,7 +333,7 @@ func (d *drive) runShard(ctx context.Context, i int) error {
 	local := d.localCells(i)
 	for attempt := 0; ; attempt++ {
 		if d.opts.Resume || attempt > 0 {
-			done, err := d.shardComplete(i, local)
+			done, err := d.shardComplete(i, attempt, local)
 			if err != nil {
 				return err
 			}
@@ -297,9 +370,13 @@ func (d *drive) runShard(ctx context.Context, i int) error {
 }
 
 // shardComplete reports whether shard i's artifact already covers its
-// whole slice; an artifact from a different campaign is a hard error,
-// not a silent re-run.
-func (d *drive) shardComplete(i, local int) (bool, error) {
+// whole slice. An artifact from a different campaign is a hard error —
+// re-running over it could silently discard another campaign's work.
+// Damage the shard itself can repair — a corrupt artifact, or one from
+// this campaign misdelivered into the wrong shard slot or with the
+// wrong coverage — is discarded (with an EventDiscard) and the shard
+// re-runs: the cells are deterministic, so regeneration is always safe.
+func (d *drive) shardComplete(i, attempt, local int) (bool, error) {
 	path := ArtifactPath(d.opts.Dir, i)
 	if _, err := os.Stat(path); err != nil {
 		if os.IsNotExist(err) {
@@ -307,8 +384,18 @@ func (d *drive) shardComplete(i, local int) (bool, error) {
 		}
 		return false, err
 	}
+	discard := func(reason error) (bool, error) {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return false, err
+		}
+		d.emit(Event{Shard: i, Kind: EventDiscard, Total: local, Attempt: attempt, Err: reason})
+		return false, nil
+	}
 	s, err := campaign.Read(path)
 	if err != nil {
+		if errors.Is(err, campaign.ErrCorruptArtifact) {
+			return discard(fmt.Errorf("driver: shard %d artifact: %w", i, err))
+		}
 		return false, fmt.Errorf("driver: shard %d artifact: %w", i, err)
 	}
 	tmpl := d.shardTemplate(i)
@@ -317,12 +404,12 @@ func (d *drive) shardComplete(i, local int) (bool, error) {
 			path, s.Identity(), tmpl.Identity())
 	}
 	if s.ShardIndex != i || s.ShardCount != d.opts.Shards {
-		return false, fmt.Errorf("driver: artifact %s is shard %d/%d, not %d/%d",
-			path, s.ShardIndex, s.ShardCount, i, d.opts.Shards)
+		return discard(fmt.Errorf("driver: artifact %s is shard %d/%d, not %d/%d — misdelivered; regenerating",
+			path, s.ShardIndex, s.ShardCount, i, d.opts.Shards))
 	}
 	if s.Cells() != int64(local) {
-		return false, fmt.Errorf("driver: artifact %s covers %d of %d cells — corrupt artifact",
-			path, s.Cells(), local)
+		return discard(fmt.Errorf("driver: artifact %s covers %d of %d cells — incomplete; regenerating",
+			path, s.Cells(), local))
 	}
 	return true, nil
 }
@@ -330,11 +417,20 @@ func (d *drive) shardComplete(i, local int) (bool, error) {
 // runInProcess executes one attempt of shard i through runner.RunSweep
 // under a checkpointer, then writes the shard artifact.
 func (d *drive) runInProcess(ctx context.Context, i, attempt, local int) error {
-	ck := campaign.NewCheckpointer(checkpointPath(d.opts.Dir, i), d.shardTemplate(i), d.opts.CheckpointEvery)
+	chaos := d.opts.Chaos
+	ck := campaign.NewCheckpointer(CheckpointPath(d.opts.Dir, i), d.shardTemplate(i), d.opts.CheckpointEvery)
+	if chaos != nil && chaos.CheckpointFault != nil {
+		ck.Fault = func(data []byte) *campaign.Fault {
+			return chaos.CheckpointFault(i, attempt, data)
+		}
+	}
 	if d.opts.Resume || attempt > 0 {
 		if _, err := ck.Resume(); err != nil {
 			return terminalError{err} // foreign/corrupt checkpoint: retrying replays it
 		}
+	}
+	if chaos != nil && chaos.Arm != nil {
+		chaos.Arm(i, attempt, ck.Done(), local)
 	}
 	d.emit(Event{Shard: i, Kind: EventStart, Done: ck.Done(), Total: local, Attempt: attempt})
 	err := runner.RunSweep(ctx, d.spec.Points, runner.SweepPlan{
@@ -352,13 +448,20 @@ func (d *drive) runInProcess(ctx context.Context, i, attempt, local int) error {
 				return err
 			}
 		}
+		if chaos != nil && chaos.Cell != nil {
+			if err := chaos.Cell(ctx, i, attempt, ck.Done()); err != nil {
+				return err
+			}
+		}
 		return nil
 	})
 	if err != nil {
 		// The checkpoint keeps every completed cell; flush any tail the
 		// throttle was still holding so a retry resumes as far along as
 		// possible (best effort — the stale checkpoint is also correct).
-		if ck.Done() > 0 {
+		// An injected crash simulates the process dying on the spot, so
+		// no rescue flush happens for it either.
+		if ck.Done() > 0 && !errors.Is(err, ErrInjected) {
 			_ = ck.Flush()
 		}
 		return err
@@ -366,7 +469,13 @@ func (d *drive) runInProcess(ctx context.Context, i, attempt, local int) error {
 	if got := ck.Done(); got != local {
 		return fmt.Errorf("driver: shard %d ran %d of %d cells", i, got, local)
 	}
-	if err := ck.Summary().Write(ArtifactPath(d.opts.Dir, i)); err != nil {
+	var fp campaign.FaultPoint
+	if chaos != nil && chaos.ArtifactFault != nil {
+		fp = func(data []byte) *campaign.Fault {
+			return chaos.ArtifactFault(i, attempt, data)
+		}
+	}
+	if err := ck.Summary().WriteWithFault(ArtifactPath(d.opts.Dir, i), fp); err != nil {
 		return err
 	}
 	return ck.Remove()
@@ -389,10 +498,11 @@ func (d *drive) runSubprocess(ctx context.Context, i, attempt, local int) error 
 	if err := cmd.Run(); err != nil {
 		return fmt.Errorf("driver: shard %d worker: %w", i, err)
 	}
-	done, err := d.shardComplete(i, local)
+	done, err := d.shardComplete(i, attempt, local)
 	if err != nil {
-		// Artifact writes are atomic, so a foreign or corrupt artifact
-		// is deterministic, not a torn write worth retrying.
+		// A foreign artifact is deterministic, not a torn write worth
+		// retrying. (Corrupt or misdelivered artifacts never reach here:
+		// shardComplete discards them and reports the shard incomplete.)
 		return terminalError{err}
 	}
 	if !done {
