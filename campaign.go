@@ -117,6 +117,10 @@ type CampaignPlan struct {
 	// RunScenarioCampaign (identical results, like Workers). RunCampaign
 	// ignores it — Config.Engine governs there.
 	Engine Engine
+	// NodeWorkers partitions each slot's node stepping inside the
+	// expanded points of RunScenarioCampaign (identical results, like
+	// Engine). RunCampaign ignores it — Config.NodeWorkers governs there.
+	NodeWorkers int
 	// Progress, if non-nil, receives per-shard events.
 	Progress func(CampaignEvent)
 	// Chaos, if non-nil, injects the given seeded fault schedule into
@@ -176,6 +180,7 @@ func RunScenarioCampaign(ctx context.Context, scen Scenario, opts ScenarioOption
 	sims := make([]sim.Config, len(points))
 	for i, p := range points {
 		p.Config.Engine = plan.Engine
+		p.Config.NodeWorkers = plan.NodeWorkers
 		sc, err := p.Config.build()
 		if err != nil {
 			return nil, err

@@ -16,18 +16,19 @@ import (
 
 // driveFlags carries the -drive* flag values into the drive paths.
 type driveFlags struct {
-	shards     int
-	exec       bool
-	resume     bool
-	dir        string
-	workers    int
-	retries    int
-	ckptEvery  int
-	engine     multicast.Engine
-	crashAfter int
-	sumOut     string
-	chaos      *multicast.ChaosInjector
-	chaosLog   string
+	shards      int
+	exec        bool
+	resume      bool
+	dir         string
+	workers     int
+	retries     int
+	ckptEvery   int
+	engine      multicast.Engine
+	nodeWorkers int
+	crashAfter  int
+	sumOut      string
+	chaos       *multicast.ChaosInjector
+	chaosLog    string
 }
 
 // campaignDir resolves the -campaign-dir default: next to the summary
@@ -55,6 +56,7 @@ func (f driveFlags) plan(trials int) multicast.CampaignPlan {
 		Resume:          f.resume,
 		CheckpointEvery: f.ckptEvery,
 		Engine:          f.engine,
+		NodeWorkers:     f.nodeWorkers,
 		Progress:        progressPrinter(f.crashAfter),
 		Chaos:           f.chaos,
 	}
@@ -188,11 +190,14 @@ func driveExecCampaign(ctx context.Context, tmpl *multicast.Summary, trials int,
 		return err
 	}
 	base := workerArgs()
-	// Children size their own trial pools; without an explicit -workers
-	// each would default to full GOMAXPROCS and oversubscribe the box
-	// k-fold, so divide the cores like the in-process driver does.
-	if !flagWasSet("workers") {
-		base = append(base, fmt.Sprintf("-workers=%d", max(1, runtime.GOMAXPROCS(0)/f.shards)))
+	// Children size their own trial pools; an explicit positive -workers
+	// from the operator stands (workerArgs already forwards it), but
+	// otherwise — unset, or the "-workers=0 means GOMAXPROCS" default —
+	// each child would grab every core and oversubscribe the box k-fold,
+	// so divide the cores like the in-process driver does. Appending last
+	// makes the division override a forwarded -workers=0.
+	if w, ok := childWorkers(flagWasSet("workers"), f.workers, f.shards, runtime.GOMAXPROCS(0)); ok {
+		base = append(base, fmt.Sprintf("-workers=%d", w))
 	}
 	sum, err := driver.Run(ctx, driver.Spec{Template: tmpl, Trials: trials}, driver.Options{
 		Shards:   f.shards,
@@ -233,6 +238,19 @@ func workerArgs() []string {
 		}
 	})
 	return args
+}
+
+// childWorkers decides the -workers flag appended to a subprocess shard
+// worker's command line: an explicit positive operator value stands
+// (forwarded by workerArgs, nothing appended), while unset — or an
+// explicit -workers=0, which a child would expand to full GOMAXPROCS,
+// oversubscribing the box k-fold — becomes the cores divided evenly
+// across the shards, at least 1 each.
+func childWorkers(explicit bool, flagValue, shards, gomaxprocs int) (int, bool) {
+	if explicit && flagValue > 0 {
+		return 0, false
+	}
+	return max(1, gomaxprocs/max(shards, 1)), true
 }
 
 // flagWasSet reports whether the named flag was given explicitly.

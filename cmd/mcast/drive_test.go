@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+// TestChildWorkers pins the -workers precedence for subprocess shard
+// workers: an explicit positive operator value is forwarded untouched,
+// while unset or explicit zero (the "use GOMAXPROCS" default, which
+// would oversubscribe the box k-fold across k children) is replaced by
+// the cores divided evenly across the shards.
+func TestChildWorkers(t *testing.T) {
+	cases := []struct {
+		name       string
+		explicit   bool
+		flagValue  int
+		shards     int
+		gomaxprocs int
+		want       int
+		append_    bool
+	}{
+		{"explicit-positive-stands", true, 6, 3, 8, 0, false},
+		{"explicit-one-stands", true, 1, 4, 16, 0, false},
+		{"explicit-zero-divided", true, 0, 4, 8, 2, true},
+		{"unset-divided", false, 0, 2, 8, 4, true},
+		{"unset-rounds-down", false, 0, 3, 8, 2, true},
+		{"unset-at-least-one", false, 0, 8, 2, 1, true},
+		{"single-core-box", false, 0, 3, 1, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := childWorkers(tc.explicit, tc.flagValue, tc.shards, tc.gomaxprocs)
+			if ok != tc.append_ {
+				t.Fatalf("append = %v, want %v", ok, tc.append_)
+			}
+			if ok && got != tc.want {
+				t.Fatalf("workers = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}

@@ -93,6 +93,7 @@ func main() {
 		sumOut      = flag.String("summary-out", "", "write the mergeable summary JSON to this path")
 		merge       = flag.Bool("merge", false, "merge the shard summary files given as arguments and print the combined summary")
 		workers     = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); does not affect results")
+		nodeWorkers = flag.Int("node-workers", 1, "goroutines stepping nodes inside each slot (1 = serial); does not affect results")
 		scenName    = flag.String("scenario", "", "run a registry scenario sweep (-trials per point; overrides -alg/-adv; see -list-scenarios)")
 		listScen    = flag.Bool("list-scenarios", false, "list the scenario registry and exit")
 		quick       = flag.Bool("quick", false, "with -scenario: expand the trimmed (smoke-test) point list")
@@ -187,7 +188,8 @@ func main() {
 		// be silently dropped is refused instead.
 		scenFlags := map[string]bool{
 			"scenario": true, "quick": true, "n": true, "budget": true, "seed": true,
-			"trials": true, "engine": true, "workers": true, "shard": true, "summary-out": true,
+			"trials": true, "engine": true, "workers": true, "node-workers": true,
+			"shard": true, "summary-out": true,
 			"timeout": true, "drive": true, "drive-exec": true, "resume": true,
 			"campaign-dir": true, "retries": true, "checkpoint-every": true, "crash-after": true,
 			"chaos-seed": true, "chaos-faults": true, "chaos-log": true,
@@ -213,12 +215,13 @@ func main() {
 				shards: *drive, exec: *driveExec, resume: *resume,
 				dir: campaignDir(*campDir, *sumOut), workers: *workers,
 				retries: *retries, ckptEvery: *ckptEvery, engine: engine,
-				crashAfter: *crashAfter, sumOut: *sumOut,
+				nodeWorkers: *nodeWorkers,
+				crashAfter:  *crashAfter, sumOut: *sumOut,
 				chaos: chaosInj, chaosLog: *chaosLog,
 			})))
 			return
 		}
-		fatal(deadline(runScenario(ctx, *scenName, opts, engine, *trials, shard, *workers, *sumOut)))
+		fatal(deadline(runScenario(ctx, *scenName, opts, engine, *nodeWorkers, *trials, shard, *workers, *sumOut)))
 		return
 	}
 
@@ -267,15 +270,16 @@ func main() {
 	}
 
 	cfg := multicast.Config{
-		N:         *n,
-		Algorithm: alg,
-		Params:    params,
-		Channels:  *channels,
-		Adversary: adv,
-		Budget:    *budget,
-		Seed:      *seed,
-		MaxSlots:  *maxSlots,
-		Engine:    engine,
+		N:           *n,
+		Algorithm:   alg,
+		Params:      params,
+		Channels:    *channels,
+		Adversary:   adv,
+		Budget:      *budget,
+		Seed:        *seed,
+		MaxSlots:    *maxSlots,
+		Engine:      engine,
+		NodeWorkers: *nodeWorkers,
 	}
 
 	if *trace {
@@ -299,7 +303,8 @@ func main() {
 			shards: *drive, exec: *driveExec, resume: *resume,
 			dir: campaignDir(*campDir, *sumOut), workers: *workers,
 			retries: *retries, ckptEvery: *ckptEvery, engine: engine,
-			crashAfter: *crashAfter, sumOut: *sumOut,
+			nodeWorkers: *nodeWorkers,
+			crashAfter:  *crashAfter, sumOut: *sumOut,
 			chaos: chaosInj, chaosLog: *chaosLog,
 		})))
 		return

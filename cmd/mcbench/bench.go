@@ -29,44 +29,82 @@ func benchScenario() multicast.Config {
 	}
 }
 
+// benchParallelScenario is the intra-trial parallelism benchmark: the
+// same MultiCastCore workload scaled to 1024 nodes on the dense engine,
+// where every slot steps the whole population — the per-slot work the
+// NodeWorkers fan-out exists to split. (The sparse low-density scenario
+// above steps ~4 nodes per slot; partitioning that is all overhead.)
+// Like benchScenario, this shape is frozen: the parallel trajectory
+// across PRs depends on it.
+func benchParallelScenario() multicast.Config {
+	cfg := benchScenario()
+	cfg.N = 1024
+	cfg.Budget = 100_000
+	cfg.Engine = multicast.EngineDense
+	return cfg
+}
+
 // benchTrials is sized so each engine measures over ≥ 1s of work; short
 // windows made the reported ratio noisy. Quick mode (-quick) trims it to
 // a smoke test: CI uses it to prove the benchmark plumbing still runs
-// and the engines still agree, not to measure a trustworthy ratio.
+// and the engines still agree, not to measure a trustworthy ratio. The
+// parallel scenario is ~40× more work per trial, so it runs fewer.
 const (
-	benchTrials      = 25
-	benchTrialsQuick = 3
+	benchTrials              = 25
+	benchTrialsQuick         = 3
+	benchParallelTrials      = 3
+	benchParallelTrialsQuick = 1
 )
 
 // engineResult is one engine's measurement.
 type engineResult struct {
-	Engine       string  `json:"engine"`
-	Slots        int64   `json:"slots"`
-	Seconds      float64 `json:"seconds"`
-	SlotsPerSec  float64 `json:"slots_per_sec"`
-	MaxNodeCost  int64   `json:"max_node_energy"`
-	EveCost      int64   `json:"eve_energy"`
-	TrialsPassed int     `json:"trials"`
+	Engine        string  `json:"engine"`
+	Workers       int     `json:"node_workers,omitempty"`
+	Slots         int64   `json:"slots"`
+	Seconds       float64 `json:"seconds"`
+	SlotsPerSec   float64 `json:"slots_per_sec"`
+	NsPerSlot     float64 `json:"ns_per_slot"`
+	AllocsPerSlot float64 `json:"allocs_per_slot"`
+	MaxNodeCost   int64   `json:"max_node_energy"`
+	EveCost       int64   `json:"eve_energy"`
+	TrialsPassed  int     `json:"trials"`
 }
 
-// benchReport is the BENCH_sim.json schema.
+// benchReport is the BENCH_sim.json schema. The parallel block measures
+// the large-n dense scenario serially and with the NodeWorkers fan-out;
+// its speedup is only comparable between machines with the same
+// GOMAXPROCS (the check mode skips it otherwise).
 type benchReport struct {
-	Benchmark  string         `json:"benchmark"`
-	Generated  string         `json:"generated"`
-	GoVersion  string         `json:"go_version"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Scenario   map[string]any `json:"scenario"`
-	Dense      engineResult   `json:"dense"`
-	Sparse     engineResult   `json:"sparse"`
-	Speedup    float64        `json:"speedup"`
+	Benchmark        string         `json:"benchmark"`
+	Generated        string         `json:"generated"`
+	GoVersion        string         `json:"go_version"`
+	GOMAXPROCS       int            `json:"gomaxprocs"`
+	Scenario         map[string]any `json:"scenario"`
+	Dense            engineResult   `json:"dense"`
+	Sparse           engineResult   `json:"sparse"`
+	Speedup          float64        `json:"speedup"`
+	ParallelWorkers  int            `json:"parallel_workers,omitempty"`
+	ParallelBaseline *engineResult  `json:"parallel_baseline,omitempty"`
+	Parallel         *engineResult  `json:"parallel,omitempty"`
+	ParallelSpeedup  float64        `json:"parallel_speedup,omitempty"`
 }
 
 // runEngine executes the scenario's trials serially on one engine so the
-// two measurements are comparable and unaffected by trial parallelism.
-func runEngine(engine multicast.Engine, trials uint64) (engineResult, error) {
-	cfg := benchScenario()
+// measurements are comparable and unaffected by trial parallelism.
+// Allocations are metered over the whole loop (runtime mallocs, not
+// bytes), so the reported allocs/slot includes the per-trial setup cost
+// amortised over each trial's slots — the steady-state rate the engine's
+// alloc-free pin guards is isolated by internal/sim's TestSlotLoopAllocFree.
+func runEngine(cfg multicast.Config, engine multicast.Engine, nodeWorkers int, trials uint64) (engineResult, error) {
 	cfg.Engine = engine
+	cfg.NodeWorkers = nodeWorkers
 	res := engineResult{Engine: engine.String()}
+	if nodeWorkers > 1 {
+		res.Workers = nodeWorkers
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocs := ms.Mallocs
 	start := time.Now()
 	for seed := uint64(1); seed <= trials; seed++ {
 		cfg.Seed = seed
@@ -82,34 +120,65 @@ func runEngine(engine multicast.Engine, trials uint64) (engineResult, error) {
 		res.TrialsPassed++
 	}
 	res.Seconds = time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms)
 	res.SlotsPerSec = float64(res.Slots) / res.Seconds
+	res.NsPerSlot = res.Seconds * 1e9 / float64(res.Slots)
+	res.AllocsPerSlot = float64(ms.Mallocs-mallocs) / float64(res.Slots)
 	return res, nil
 }
 
-// runEngineBench measures dense vs sparse slots/sec on the fixed scenario
+// resolveParallelWorkers turns the -parallel flag into the fan-out width
+// of the parallel benchmark entry: 0 means GOMAXPROCS, floored at 2 so
+// the entry always exercises the partition machinery (on a single-core
+// box the honest result is then a speedup ≤ 1 — the goroutines time-slice
+// one core).
+func resolveParallelWorkers(parallel int) int {
+	if parallel > 0 {
+		return parallel
+	}
+	return max(2, runtime.GOMAXPROCS(0))
+}
+
+// runEngineBench measures dense vs sparse slots/sec on the fixed
+// scenario, plus the NodeWorkers fan-out on the large-n dense scenario,
 // and writes the JSON report to path.
-func runEngineBench(path string, quick bool) error {
+func runEngineBench(path string, quick bool, parallel int) error {
 	trials := uint64(benchTrials)
+	ptrials := uint64(benchParallelTrials)
 	if quick {
 		trials = benchTrialsQuick
+		ptrials = benchParallelTrialsQuick
 	}
 	scenario := benchScenario()
 	// Warm-up pass so one-time costs (page faults, lazy allocations) hit
 	// neither engine's measurement.
-	if _, err := runEngine(multicast.EngineDense, trials); err != nil {
+	if _, err := runEngine(scenario, multicast.EngineDense, 1, trials); err != nil {
 		return err
 	}
-	dense, err := runEngine(multicast.EngineDense, trials)
+	dense, err := runEngine(scenario, multicast.EngineDense, 1, trials)
 	if err != nil {
 		return err
 	}
-	sparse, err := runEngine(multicast.EngineSparse, trials)
+	sparse, err := runEngine(scenario, multicast.EngineSparse, 1, trials)
 	if err != nil {
 		return err
 	}
 	if dense.Slots != sparse.Slots || dense.EveCost != sparse.EveCost {
 		return fmt.Errorf("engine divergence: dense ran %d slots (Eve %d), sparse %d (Eve %d)",
 			dense.Slots, dense.EveCost, sparse.Slots, sparse.EveCost)
+	}
+	workers := resolveParallelWorkers(parallel)
+	pbase, err := runEngine(benchParallelScenario(), multicast.EngineDense, 1, ptrials)
+	if err != nil {
+		return err
+	}
+	ppar, err := runEngine(benchParallelScenario(), multicast.EngineDense, workers, ptrials)
+	if err != nil {
+		return err
+	}
+	if pbase.Slots != ppar.Slots || pbase.EveCost != ppar.EveCost {
+		return fmt.Errorf("NodeWorkers divergence: serial ran %d slots (Eve %d), %d workers %d (Eve %d)",
+			pbase.Slots, pbase.EveCost, workers, ppar.Slots, ppar.EveCost)
 	}
 	report := benchReport{
 		Benchmark:  "sim-engine-dense-vs-sparse",
@@ -123,10 +192,16 @@ func runEngineBench(path string, quick bool) error {
 			"budget":    scenario.Budget,
 			"adversary": scenario.Adversary.Name(),
 			"trials":    trials,
+			"parallelN": benchParallelScenario().N,
+			"parallelT": ptrials,
 		},
-		Dense:   dense,
-		Sparse:  sparse,
-		Speedup: sparse.SlotsPerSec / dense.SlotsPerSec,
+		Dense:            dense,
+		Sparse:           sparse,
+		Speedup:          sparse.SlotsPerSec / dense.SlotsPerSec,
+		ParallelWorkers:  workers,
+		ParallelBaseline: &pbase,
+		Parallel:         &ppar,
+		ParallelSpeedup:  ppar.SlotsPerSec / pbase.SlotsPerSec,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -138,5 +213,7 @@ func runEngineBench(path string, quick bool) error {
 	}
 	fmt.Printf("engine benchmark: dense %.0f slots/s, sparse %.0f slots/s (%.2fx) → %s\n",
 		dense.SlotsPerSec, sparse.SlotsPerSec, report.Speedup, path)
+	fmt.Printf("parallel (n=%d dense, %d workers): serial %.0f slots/s, parallel %.0f slots/s (%.2fx)\n",
+		benchParallelScenario().N, workers, pbase.SlotsPerSec, ppar.SlotsPerSec, report.ParallelSpeedup)
 	return nil
 }

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"multicast"
+)
+
+// runEngineCheck is the CI perf-regression gate: it re-measures the
+// frozen engine scenarios and compares them against a committed
+// BENCH_sim.json, failing when head has regressed past the tolerance.
+//
+// The checks are chosen to be machine-portable — CI runners and dev
+// boxes differ, so raw slots/s against a committed absolute would gate
+// on hardware, not code:
+//
+//   - speedup ratio (sparse slots/s ÷ dense slots/s) must stay within
+//     tolerance of the committed ratio — both engines run on the same
+//     box in the same process, so the ratio cancels the hardware out
+//     and catches sparse fast-path regressions;
+//   - allocs/slot per engine must not grow by more than half an
+//     allocation — allocation counts are deterministic per workload,
+//     hardware-independent, and the first thing accidental per-slot
+//     garbage moves;
+//   - the parallel (NodeWorkers) speedup ratio is compared the same
+//     way, but only when this machine's GOMAXPROCS matches the
+//     committed report's — a fan-out measured on k cores says nothing
+//     about one measured on a different k (skips are logged, never
+//     silent).
+//
+// Absolute throughput is still printed for context. tolerance is the
+// fraction of the committed ratio head must retain (0.85 = within 15%);
+// raising it above 1 demands head be faster than the baseline, which is
+// how the gate itself is smoke-tested.
+func runEngineCheck(path string, quick bool, tolerance float64) error {
+	if tolerance <= 0 {
+		return fmt.Errorf("-tolerance %v: must be positive", tolerance)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed benchReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if committed.Dense.SlotsPerSec <= 0 || committed.Sparse.SlotsPerSec <= 0 {
+		return fmt.Errorf("%s: not an engine benchmark report (missing dense/sparse throughput)", path)
+	}
+
+	trials := uint64(benchTrials)
+	ptrials := uint64(benchParallelTrials)
+	if quick {
+		trials = benchTrialsQuick
+		ptrials = benchParallelTrialsQuick
+	}
+	// Warm-up, as in the generator, so lazy one-time costs don't skew the
+	// dense leg of the ratio.
+	if _, err := runEngine(benchScenario(), multicast.EngineDense, 1, trials); err != nil {
+		return err
+	}
+	dense, err := runEngine(benchScenario(), multicast.EngineDense, 1, trials)
+	if err != nil {
+		return err
+	}
+	sparse, err := runEngine(benchScenario(), multicast.EngineSparse, 1, trials)
+	if err != nil {
+		return err
+	}
+
+	var failures []string
+	check := func(name string, got, committedV, floor float64, pass bool) {
+		status := "ok"
+		if !pass {
+			status = "FAIL"
+			failures = append(failures, name)
+		}
+		fmt.Printf("%-22s measured %.3f  committed %.3f  floor %.3f  %s\n",
+			name, got, committedV, floor, status)
+	}
+
+	speedup := sparse.SlotsPerSec / dense.SlotsPerSec
+	check("speedup sparse/dense", speedup, committed.Speedup,
+		tolerance*committed.Speedup, speedup >= tolerance*committed.Speedup)
+	for _, c := range []struct {
+		name      string
+		got, base float64
+	}{
+		{"allocs/slot dense", dense.AllocsPerSlot, committed.Dense.AllocsPerSlot},
+		{"allocs/slot sparse", sparse.AllocsPerSlot, committed.Sparse.AllocsPerSlot},
+	} {
+		if c.base == 0 && c.got > 0 {
+			// A report generated before allocs/slot existed: nothing to
+			// compare, say so rather than silently passing.
+			fmt.Printf("%-22s measured %.3f  committed report has no alloc baseline — skipped\n", c.name, c.got)
+			continue
+		}
+		check(c.name, c.got, c.base, c.base+0.5, c.got <= c.base+0.5)
+	}
+
+	if committed.Parallel != nil && committed.ParallelBaseline != nil && committed.ParallelSpeedup > 0 {
+		if g := runtime.GOMAXPROCS(0); g != committed.GOMAXPROCS {
+			fmt.Printf("parallel speedup       skipped: GOMAXPROCS %d here vs %d in %s (fan-out ratios are not comparable across core counts)\n",
+				g, committed.GOMAXPROCS, path)
+		} else {
+			workers := committed.ParallelWorkers
+			if workers < 2 {
+				workers = resolveParallelWorkers(0)
+			}
+			pbase, err := runEngine(benchParallelScenario(), multicast.EngineDense, 1, ptrials)
+			if err != nil {
+				return err
+			}
+			ppar, err := runEngine(benchParallelScenario(), multicast.EngineDense, workers, ptrials)
+			if err != nil {
+				return err
+			}
+			pspeed := ppar.SlotsPerSec / pbase.SlotsPerSec
+			check("parallel speedup", pspeed, committed.ParallelSpeedup,
+				tolerance*committed.ParallelSpeedup, pspeed >= tolerance*committed.ParallelSpeedup)
+		}
+	}
+
+	fmt.Printf("context: dense %.0f slots/s (committed %.0f), sparse %.0f slots/s (committed %.0f)\n",
+		dense.SlotsPerSec, committed.Dense.SlotsPerSec, sparse.SlotsPerSec, committed.Sparse.SlotsPerSec)
+	if len(failures) > 0 {
+		return fmt.Errorf("perf gate: %d check(s) regressed past tolerance %.2f: %v", len(failures), tolerance, failures)
+	}
+	fmt.Printf("perf gate: all checks within tolerance %.2f of %s\n", tolerance, path)
+	return nil
+}

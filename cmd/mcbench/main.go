@@ -11,6 +11,8 @@
 //	mcbench -markdown         emit GitHub-flavoured markdown (for EXPERIMENTS.md)
 //	mcbench -bench-sim BENCH_sim.json           measure dense vs sparse engines
 //	mcbench -bench-sim out.json -quick          engine-benchmark smoke run (CI)
+//	mcbench -check BENCH_sim.json -quick        perf-regression gate against the committed report
+//	mcbench -check BENCH_sim.json -tolerance 0.85   …with an explicit regression floor
 //	mcbench -matrix                             engine matrix: algorithms × engines × densities
 //	mcbench -matrix -matrix-out matrix.json     …and write the rows as JSON
 package main
@@ -27,17 +29,20 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiments and exit")
-		run      = flag.String("run", "", "comma-separated experiment IDs (empty = all)")
-		quick    = flag.Bool("quick", false, "trimmed parameter sweeps")
-		trials   = flag.Int("trials", 0, "override trials per data point (0 = per-experiment default)")
-		seed     = flag.Uint64("seed", 1, "base random seed")
-		markdown = flag.Bool("markdown", false, "emit markdown tables")
-		csv      = flag.Bool("csv", false, "emit CSV tables (no claims/notes)")
-		benchSim = flag.String("bench-sim", "", "measure dense vs sparse engine throughput and write the JSON report to this path (e.g. BENCH_sim.json), then exit")
-		matrix   = flag.Bool("matrix", false, "run the engine benchmark matrix (algorithms × engines × densities) and exit")
-		matOut   = flag.String("matrix-out", "", "with -matrix: also write the rows as JSON to this path")
-		engine   = flag.String("engine", "auto", "slot-loop engine for experiments: auto, dense, or sparse (results are identical; dense is the reference loop)")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		run       = flag.String("run", "", "comma-separated experiment IDs (empty = all)")
+		quick     = flag.Bool("quick", false, "trimmed parameter sweeps")
+		trials    = flag.Int("trials", 0, "override trials per data point (0 = per-experiment default)")
+		seed      = flag.Uint64("seed", 1, "base random seed")
+		markdown  = flag.Bool("markdown", false, "emit markdown tables")
+		csv       = flag.Bool("csv", false, "emit CSV tables (no claims/notes)")
+		benchSim  = flag.String("bench-sim", "", "measure dense vs sparse engine throughput and write the JSON report to this path (e.g. BENCH_sim.json), then exit")
+		parallel  = flag.Int("parallel", 0, "with -bench-sim: NodeWorkers fan-out width of the parallel benchmark entry (0 = GOMAXPROCS, min 2)")
+		checkPath = flag.String("check", "", "re-measure the engine scenarios and fail if they regressed past -tolerance of this committed report (the CI perf gate), then exit")
+		tolerance = flag.Float64("tolerance", 0.85, "with -check: fraction of each committed ratio head must retain (>1 demands head be faster — used to smoke-test the gate)")
+		matrix    = flag.Bool("matrix", false, "run the engine benchmark matrix (algorithms × engines × densities) and exit")
+		matOut    = flag.String("matrix-out", "", "with -matrix: also write the rows as JSON to this path")
+		engine    = flag.String("engine", "auto", "slot-loop engine for experiments: auto, dense, or sparse (results are identical; dense is the reference loop)")
 	)
 	flag.Parse()
 
@@ -48,8 +53,15 @@ func main() {
 	}
 
 	if *benchSim != "" {
-		if err := runEngineBench(*benchSim, *quick); err != nil {
+		if err := runEngineBench(*benchSim, *quick, *parallel); err != nil {
 			fmt.Fprintf(os.Stderr, "mcbench: engine benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *checkPath != "" {
+		if err := runEngineCheck(*checkPath, *quick, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -160,6 +160,40 @@ func (nw *Network) ChargeEve(amount int64) {
 	nw.eveEnergy += amount
 }
 
+// Reset returns the network to its just-constructed state while keeping
+// its allocations, so a pooled execution (sim.Executor) can reuse one
+// network across trials. The channel-state slice keeps its full length —
+// grow() treats len(states) as the capacity, so shrinking the visible
+// slice would forfeit it — and the stamps are rewound instead, an
+// O(capacity) cost paid once per trial, never per slot.
+func (nw *Network) Reset(n, channels int) {
+	if n <= 0 {
+		panic("radio: network needs at least one node")
+	}
+	if channels < 1 {
+		channels = 1
+	}
+	if channels > len(nw.states) {
+		nw.states = make([]chanState, channels)
+	}
+	for i := range nw.states {
+		nw.states[i] = chanState{stamp: -1}
+	}
+	nw.channels = channels
+	if n <= cap(nw.nodeEnergy) {
+		nw.nodeEnergy = nw.nodeEnergy[:n]
+		clear(nw.nodeEnergy)
+	} else {
+		nw.nodeEnergy = make([]int64, n)
+	}
+	nw.slot = -1
+	nw.inSlot = false
+	nw.jam = nil
+	nw.eveEnergy = 0
+	nw.broadcastsThisSlot = 0
+	nw.listensThisSlot = 0
+}
+
 // grow ensures capacity for at least channels channels.
 func (nw *Network) grow(channels int) {
 	if channels <= len(nw.states) {

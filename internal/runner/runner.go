@@ -110,11 +110,11 @@ func Run(ctx context.Context, cfg sim.Config, plan Plan, sink Sink) error {
 		return fmt.Errorf("runner: trials = %d must be positive", plan.Trials)
 	}
 	return runGrid(ctx, plan.Trials, plan.Shard, plan.Skip, plan.Workers,
-		func(done <-chan struct{}, t int) result {
+		func(done <-chan struct{}, exec *sim.Executor, t int) result {
 			c := cfg
 			c.Interrupt = done
 			c.Seed = cfg.Seed + uint64(t)
-			m, err := sim.Run(c)
+			m, err := exec.Run(c)
 			return result{m: m, err: err}
 		},
 		func(t int, r result) error {
@@ -135,11 +135,14 @@ func Run(ctx context.Context, cfg sim.Config, plan Plan, sink Sink) error {
 // (idx ≡ shard.Index mod shard.Count) minus its first skip cells, fans
 // indices out over a worker pool, and hands each result to deliver in
 // ascending index order. exec receives the cancellation channel to wire
-// into sim.Config.Interrupt; deliver owns error translation and the sink
-// call, and its first error (in index order) cancels all outstanding
-// work.
+// into sim.Config.Interrupt and a worker-local sim.Executor — each pool
+// worker recycles one execution context across all the cells it runs, so
+// a long campaign's steady-state trials reuse the engine's buffers
+// instead of reallocating them (results are bit-identical either way).
+// deliver owns error translation and the sink call, and its first error
+// (in index order) cancels all outstanding work.
 func runGrid(ctx context.Context, total int, reqShard Shard, skip, reqWorkers int,
-	exec func(done <-chan struct{}, idx int) result,
+	exec func(done <-chan struct{}, ex *sim.Executor, idx int) result,
 	deliver func(idx int, r result) error) error {
 	shard, err := reqShard.normalize()
 	if err != nil {
@@ -167,15 +170,14 @@ func runGrid(ctx context.Context, total int, reqShard Shard, skip, reqWorkers in
 	defer cancel()
 	done := runCtx.Done()
 
-	runOne := func(idx int) result { return exec(done, idx) }
-
 	if workers == 1 {
 		// Serial fast path: no goroutines, same semantics.
+		ex := sim.NewExecutor()
 		for idx := start; idx < total; idx += shard.Count {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := deliver(idx, runOne(idx)); err != nil {
+			if err := deliver(idx, exec(done, ex, idx)); err != nil {
 				return err
 			}
 		}
@@ -197,8 +199,9 @@ func runGrid(ctx context.Context, total int, reqShard Shard, skip, reqWorkers in
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ex := sim.NewExecutor() // recycled across this worker's cells
 			for j := range jobs {
-				j.out <- runOne(j.idx) // buffered: never blocks
+				j.out <- exec(done, ex, j.idx) // buffered: never blocks
 			}
 		}()
 	}

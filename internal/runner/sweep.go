@@ -63,11 +63,11 @@ func RunSweep(ctx context.Context, points []sim.Config, plan SweepPlan, sink Swe
 	}
 	total := len(points) * plan.Trials
 	return runGrid(ctx, total, plan.Shard, plan.Skip, plan.Workers,
-		func(done <-chan struct{}, g int) result {
+		func(done <-chan struct{}, exec *sim.Executor, g int) result {
 			c := points[g/plan.Trials]
 			c.Interrupt = done
 			c.Seed += uint64(g % plan.Trials)
-			m, err := sim.Run(c)
+			m, err := exec.Run(c)
 			return result{m: m, err: err}
 		},
 		func(g int, r result) error {

@@ -54,5 +54,48 @@ func BenchmarkSlotLoopAdaptive(b *testing.B) {
 	b.ReportMetric(float64(nodeSlots)/b.Elapsed().Seconds(), "node-slots/s")
 }
 
+// benchmarkRun measures one engine over the fixed cmd/mcbench scenario
+// shape (MultiCastCore, n=128, listen probability 1/64, half-spectrum
+// block jammer) on a recycled Executor, reporting allocs/op so steady-
+// state allocation regressions show up directly in -bench output.
+func benchmarkRun(b *testing.B, engine Engine, nodeWorkers int) {
+	const n = 128
+	params := core.Sim()
+	params.CoreP = 1.0 / 64
+	params.CoreA = 640
+	cfg := Config{
+		N: n,
+		Algorithm: func() (protocol.Algorithm, error) {
+			return core.NewMultiCastCore(params, n, 200_000)
+		},
+		Adversary:   adversary.BlockFraction(0.5),
+		Budget:      200_000,
+		Engine:      engine,
+		NodeWorkers: nodeWorkers,
+	}
+	exec := NewExecutor()
+	var slots int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i%25) + 1
+		m, err := exec.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots += m.Slots
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(slots), "ns/slot")
+	b.ReportMetric(float64(slots)/b.Elapsed().Seconds(), "slots/s")
+}
+
+func BenchmarkRunDense(b *testing.B)  { benchmarkRun(b, EngineDense, 1) }
+func BenchmarkRunSparse(b *testing.B) { benchmarkRun(b, EngineSparse, 1) }
+
+// BenchmarkRunDenseParallel exercises the NodeWorkers fan-out on the
+// dense loop, where every slot steps all n nodes (the sparse loop's
+// few-woken-nodes slots have too little per-slot work to parallelize).
+func BenchmarkRunDenseParallel(b *testing.B) { benchmarkRun(b, EngineDense, 4) }
+
 // Trial-level parallel scaling is benchmarked in multicast/internal/runner,
 // which owns the worker pool.

@@ -79,12 +79,16 @@ func FuzzEngineEquivalence(f *testing.F) {
 		cfg.Engine = EngineDense
 		want, errD := Run(cfg)
 		// Alternate the challenger between the explicit sparse engine and
-		// Auto (which may resolve to either) — both must match dense.
+		// Auto (which may resolve to either) — both must match dense. The
+		// challenger also steps nodes on 1–4 parallel workers (derived
+		// from existing inputs so the corpus keeps its signature); the
+		// serial dense reference stays the oracle.
 		if engSel%2 == 0 {
 			cfg.Engine = EngineSparse
 		} else {
 			cfg.Engine = EngineAuto
 		}
+		cfg.NodeWorkers = 1 + int(seed>>8)%4
 		got, errS := Run(cfg)
 
 		switch {

@@ -1,0 +1,218 @@
+// Parallel intra-trial stepping: with Config.NodeWorkers > 1, stepSlot's
+// Phase 1 (node actions) and Phase 3 (end-of-slot transitions) partition
+// the slot's node ids across a bounded pool of workers. The reduction is
+// deterministic by construction — partitions are contiguous id ranges,
+// each worker records its effects into private buffers, and the
+// coordinator replays those buffers in partition order, which is
+// ascending id order — so an execution is bit-identical for every worker
+// count, on either engine, and the dense/sparse equivalence pins keep
+// holding (TestNodeWorkersEquivalence, FuzzEngineEquivalence).
+//
+// What makes the node loops safe to partition: a node's Step/EndSlot
+// touch only the node's own state and its private rng.Source fork;
+// algorithm instances are read immutably after construction (each
+// MultiCastAdv node carries its own schedule cache); and the engine-side
+// writes land at distinct indices of prevStatus. Everything with shared
+// mutable state — the radio network, the listener resolution of Phase 2,
+// the adversary, metrics — stays on the coordinator goroutine.
+//
+// The pool's goroutines live for one run() and are dispatched by
+// per-worker wake channels carrying no data (the job parameters sit in
+// pool fields published happens-before by the channel send), so a slot
+// dispatch allocates nothing.
+package sim
+
+import (
+	"sync"
+
+	"multicast/internal/protocol"
+	"multicast/internal/radio"
+)
+
+// pendingBroadcast is one Phase 1 broadcast action, recorded by a worker
+// and registered with the network by the coordinator.
+type pendingBroadcast struct {
+	id      int
+	ch      int
+	payload radio.Payload
+}
+
+// stepPart is one worker's slice of a slot plus its private effect
+// buffers. Buffers keep their capacity across slots and trials.
+type stepPart struct {
+	lo, hi int // ids[lo:hi)
+
+	bcasts    []pendingBroadcast
+	listeners []int
+	channels  []int
+
+	trans []transition
+	keep  []int // non-halted ids (Phase 3 with maintainActive)
+}
+
+// nodePool fans a slot's node loops out over workers goroutines.
+// Worker 0 is the coordinator itself; workers 1..n-1 are goroutines that
+// live for one execution run.
+type nodePool struct {
+	ex      *execution
+	workers int
+
+	// Per-dispatch job description, written by the coordinator before
+	// the wake sends and read by workers after the wake receives.
+	phase      uint8 // 1 or 3
+	slot       int64
+	ids        []int
+	keepActive bool
+
+	parts []stepPart
+	wake  []chan struct{} // per-worker wake signal; closed to stop
+	done  chan struct{}   // workers report phase completion here
+	wg    sync.WaitGroup
+}
+
+// startPool (re)creates the pool for this run and spawns its worker
+// goroutines. The stepPart buffers persist on the pool across runs of a
+// recycled Executor; only the channels and goroutines are per-run.
+func (ex *execution) startPool() {
+	workers := min(ex.cfg.NodeWorkers, ex.cfg.N)
+	if ex.poolCache != nil {
+		ex.pool, ex.poolCache = ex.poolCache, nil
+	} else {
+		ex.pool = &nodePool{ex: ex}
+	}
+	p := ex.pool
+	p.workers = workers
+	if cap(p.parts) < workers {
+		parts := make([]stepPart, workers)
+		copy(parts, p.parts)
+		p.parts = parts
+	}
+	p.parts = p.parts[:workers]
+	p.wake = make([]chan struct{}, workers)
+	p.done = make(chan struct{}, workers)
+	for w := 1; w < workers; w++ {
+		p.wake[w] = make(chan struct{}, 1)
+		p.wg.Add(1)
+		go func(w int) {
+			defer p.wg.Done()
+			for range p.wake[w] {
+				p.runPart(w)
+				p.done <- struct{}{}
+			}
+		}(w)
+	}
+}
+
+// stopPool joins the worker goroutines. The pool struct (and its
+// buffers) stays on the execution for the next run.
+func (ex *execution) stopPool() {
+	p := ex.pool
+	if p == nil {
+		return
+	}
+	for w := 1; w < p.workers; w++ {
+		close(p.wake[w])
+	}
+	p.wg.Wait()
+	ex.pool = nil
+	ex.poolCache = p
+}
+
+// dispatch runs one phase over ids across all workers and blocks until
+// every partition is done. Partition boundaries depend only on len(ids)
+// and the worker count — and the merge order makes even those
+// invisible to the results.
+func (p *nodePool) dispatch(phase uint8, slot int64, ids []int, keepActive bool) {
+	p.phase, p.slot, p.ids, p.keepActive = phase, slot, ids, keepActive
+	n, k := len(ids), p.workers
+	for w := 0; w < k; w++ {
+		p.parts[w].lo = w * n / k
+		p.parts[w].hi = (w + 1) * n / k
+	}
+	for w := 1; w < k; w++ {
+		p.wake[w] <- struct{}{}
+	}
+	p.runPart(0)
+	for w := 1; w < k; w++ {
+		<-p.done
+	}
+}
+
+// runPart executes the current job's partition w into its private
+// buffers.
+func (p *nodePool) runPart(w int) {
+	ex := p.ex
+	pt := &p.parts[w]
+	ids := p.ids[pt.lo:pt.hi]
+	if p.phase == 1 {
+		pt.bcasts = pt.bcasts[:0]
+		pt.listeners = pt.listeners[:0]
+		pt.channels = pt.channels[:0]
+		for _, id := range ids {
+			nd := ex.nodes[id]
+			ex.prevStatus[id] = nd.Status()
+			act := nd.Step(p.slot)
+			switch act.Kind {
+			case protocol.Broadcast:
+				pt.bcasts = append(pt.bcasts, pendingBroadcast{id: id, ch: act.Channel, payload: act.Payload})
+			case protocol.Listen:
+				pt.listeners = append(pt.listeners, id)
+				pt.channels = append(pt.channels, act.Channel)
+			}
+		}
+		return
+	}
+	pt.trans = pt.trans[:0]
+	pt.keep = pt.keep[:0]
+	for _, id := range ids {
+		nd := ex.nodes[id]
+		nd.EndSlot(p.slot)
+		after := nd.Status()
+		if before := ex.prevStatus[id]; after != before {
+			pt.trans = append(pt.trans, transition{id: id, before: before, after: after})
+		}
+		if p.keepActive && after != protocol.Halted {
+			pt.keep = append(pt.keep, id)
+		}
+	}
+}
+
+// phase1 steps ids in parallel and replays the recorded actions in
+// ascending id order: broadcasts register with the network first (the
+// model's simultaneous-transmission rule), then the listener list is
+// assembled for Phase 2. Returns the broadcaster count.
+func (p *nodePool) phase1(slot int64, ids []int) (broadcasters int) {
+	p.dispatch(1, slot, ids, false)
+	ex := p.ex
+	for w := range p.parts {
+		pt := &p.parts[w]
+		for _, b := range pt.bcasts {
+			ex.net.Broadcast(b.id, b.ch, b.payload)
+		}
+		broadcasters += len(pt.bcasts)
+		ex.listeners = append(ex.listeners, pt.listeners...)
+		ex.channels = append(ex.channels, pt.channels...)
+	}
+	return broadcasters
+}
+
+// phase3 runs the end-of-slot transitions in parallel, merges the
+// per-partition transition lists in ascending id order, and (when
+// maintainActive) rebuilds ex.active from the partitions' keep lists —
+// the same subsequence the serial in-place filter produces.
+func (p *nodePool) phase3(slot int64, ids []int, maintainActive bool) {
+	p.dispatch(3, slot, ids, maintainActive)
+	ex := p.ex
+	for w := range p.parts {
+		ex.transitions = append(ex.transitions, p.parts[w].trans...)
+	}
+	if maintainActive {
+		// The keep lists are copies, so overwriting ex.active (which ids
+		// aliases in the dense loop) is safe.
+		out := ex.active[:0]
+		for w := range p.parts {
+			out = append(out, p.parts[w].keep...)
+		}
+		ex.active = out
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"multicast/internal/adversary"
+	"multicast/internal/core"
+	"multicast/internal/protocol"
+)
+
+// TestNodeWorkersEquivalence is the determinism oracle for parallel
+// intra-trial stepping: for every engine × adversary class × worker
+// count, an execution with NodeWorkers > 1 must produce Metrics
+// bit-identical to the serial run. Worker counts deliberately include
+// values that divide the node count unevenly (3, 7) and one per node
+// (≥ N), and the adversary axis includes an adaptive Eve, which forces
+// the dense per-slot path under Auto.
+func TestNodeWorkersEquivalence(t *testing.T) {
+	algs := []struct {
+		name  string
+		build func() (protocol.Algorithm, error)
+	}{
+		{"MultiCastCore", func() (protocol.Algorithm, error) { return core.NewMultiCastCore(core.Sim(), 32, 12_000) }},
+		{"MultiCast", func() (protocol.Algorithm, error) { return core.NewMultiCast(core.Sim(), 32) }},
+	}
+	advs := []struct {
+		name    string
+		factory adversary.Factory
+	}{
+		{"nil", nil},
+		{"block", adversary.BlockFraction(0.6)},
+		{"rand", adversary.RandomFraction(0.4)},
+		{"reactive", adversary.Reactive(0.6)},
+	}
+	workerCounts := []int{2, 3, 4, 7, 16, 64}
+	if testing.Short() {
+		advs = advs[1:3]
+		workerCounts = []int{2, 7, 64}
+	}
+	for _, alg := range algs {
+		for _, adv := range advs {
+			for _, engine := range []Engine{EngineDense, EngineSparse} {
+				alg, adv, engine := alg, adv, engine
+				t.Run(fmt.Sprintf("%s/%s/%v", alg.name, adv.name, engine), func(t *testing.T) {
+					t.Parallel()
+					cfg := Config{
+						N:         32,
+						Algorithm: alg.build,
+						Adversary: adv.factory,
+						Budget:    12_000,
+						Seed:      9,
+						MaxSlots:  1 << 24,
+						Engine:    engine,
+					}
+					want, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, workers := range workerCounts {
+						cfg.NodeWorkers = workers
+						got, err := Run(cfg)
+						if err != nil {
+							t.Fatalf("workers=%d: %v", workers, err)
+						}
+						if got != want {
+							t.Fatalf("workers=%d diverges from serial\n serial   %+v\n parallel %+v",
+								workers, want, got)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestNodeWorkersMaxSlotsEquivalence: the ErrMaxSlots truncation path
+// must be bit-identical under parallel stepping too (every node stays
+// active forever, so every slot exercises the full partition fan-out).
+func TestNodeWorkersMaxSlotsEquivalence(t *testing.T) {
+	cfg := Config{
+		N: 16,
+		Algorithm: func() (protocol.Algorithm, error) {
+			return core.NewMultiCast(core.Sim(), 16)
+		},
+		Adversary: adversary.FullBurst(0),
+		Budget:    1 << 40,
+		Seed:      3,
+		MaxSlots:  4_096,
+		Engine:    EngineDense,
+	}
+	want, errW := Run(cfg)
+	if !errors.Is(errW, ErrMaxSlots) {
+		t.Fatalf("want ErrMaxSlots, got %v", errW)
+	}
+	for _, workers := range []int{2, 5, 16} {
+		cfg.NodeWorkers = workers
+		got, err := Run(cfg)
+		if !errors.Is(err, ErrMaxSlots) {
+			t.Fatalf("workers=%d: want ErrMaxSlots, got %v", workers, err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: truncated metrics diverge\n serial   %+v\n parallel %+v", workers, want, got)
+		}
+	}
+}
+
+// TestNodeWorkersValidation rejects negative worker counts.
+func TestNodeWorkersValidation(t *testing.T) {
+	_, err := Run(Config{N: 16, Algorithm: mcCore(16, 0), NodeWorkers: -1})
+	if err == nil {
+		t.Fatal("accepted NodeWorkers = -1")
+	}
+}

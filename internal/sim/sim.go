@@ -110,6 +110,15 @@ type Config struct {
 	// the hot loop pays nothing measurable for it. The trial runner
 	// wires a context's Done channel here to cancel in-flight work.
 	Interrupt <-chan struct{}
+	// NodeWorkers partitions each slot's node-stepping phases across this
+	// many goroutines (0 or 1: serial, today's behavior). The reduction is
+	// deterministic — per-partition buffers merge in ascending node id
+	// order — so Metrics are bit-identical for every worker count, on
+	// either engine. Worth it only when many nodes act per slot (large N,
+	// dense engine, or high-activity workloads); the sparse engine's
+	// typical few-woken-nodes slots gain nothing. Negative values are
+	// rejected.
+	NodeWorkers int
 }
 
 // DefaultMaxSlots bounds runaway executions (~1.3·10⁸ slots).
@@ -207,11 +216,33 @@ func (c InvariantCounts) Any() bool {
 
 // Run executes one trial to completion.
 func Run(cfg Config) (Metrics, error) {
-	ex, err := newExecution(cfg)
-	if err != nil {
+	var e Executor
+	return e.Run(cfg)
+}
+
+// Executor is a reusable execution context: one Executor runs many trials
+// back to back, recycling the node table, wake ring, network meters, and
+// metric buffers, so a steady-state trial allocates only what the
+// algorithm's per-trial node constructors need — the slot loop itself
+// allocates nothing (pinned by TestSlotLoopAllocFree). The zero value is
+// ready to use. An Executor is not safe for concurrent use; the trial
+// runner keeps one per worker goroutine.
+type Executor struct {
+	ex execution
+}
+
+// NewExecutor returns an empty Executor. Buffers are grown by the first
+// Run and recycled by every Run after it.
+func NewExecutor() *Executor { return &Executor{} }
+
+// Run executes one trial to completion, exactly like the package-level
+// Run — same validation, same Metrics, bit-identical results — but
+// reuses the Executor's buffers across calls.
+func (e *Executor) Run(cfg Config) (Metrics, error) {
+	if err := e.ex.reset(cfg); err != nil {
 		return Metrics{}, err
 	}
-	return ex.run()
+	return e.ex.run()
 }
 
 // transition records a node's status change within one slot.
@@ -220,7 +251,9 @@ type transition struct {
 	before, after protocol.Status
 }
 
-// execution is the mutable state of one trial.
+// execution is the mutable state of one trial. All slice fields and the
+// network are pooled: reset reuses their capacity across trials, which is
+// what makes the Executor path allocation-free in steady state.
 type execution struct {
 	cfg      Config
 	alg      protocol.Algorithm
@@ -242,6 +275,12 @@ type execution struct {
 	prevStatus  []protocol.Status
 	transitions []transition
 
+	ring  *wakeRing // sparse engine's wake list, recycled across trials
+	awake []int     // sparse engine's per-slot wake buffer
+
+	pool      *nodePool // non-nil while a NodeWorkers > 1 run is in flight
+	poolCache *nodePool // retired pool kept so its buffers recycle across trials
+
 	informedCount int
 	helperSeen    bool
 	haltedCount   int
@@ -249,22 +288,29 @@ type execution struct {
 	metrics Metrics
 }
 
-func newExecution(cfg Config) (*execution, error) {
+// reset rebuilds the execution for cfg, reusing every buffer whose
+// capacity suffices. A fresh execution and a recycled one are
+// indistinguishable to the trial: all randomness re-derives from
+// cfg.Seed, all meters restart at zero.
+func (ex *execution) reset(cfg Config) error {
 	if cfg.N < 2 {
-		return nil, fmt.Errorf("sim: need at least 2 nodes, got %d", cfg.N)
+		return fmt.Errorf("sim: need at least 2 nodes, got %d", cfg.N)
 	}
 	if cfg.Algorithm == nil {
-		return nil, errors.New("sim: Config.Algorithm is required")
+		return errors.New("sim: Config.Algorithm is required")
 	}
 	if cfg.Budget < 0 {
-		return nil, fmt.Errorf("sim: negative budget %d", cfg.Budget)
+		return fmt.Errorf("sim: negative budget %d", cfg.Budget)
 	}
 	if cfg.Engine > EngineSparse {
-		return nil, fmt.Errorf("sim: unknown engine %v", cfg.Engine)
+		return fmt.Errorf("sim: unknown engine %v", cfg.Engine)
+	}
+	if cfg.NodeWorkers < 0 {
+		return fmt.Errorf("sim: negative NodeWorkers %d", cfg.NodeWorkers)
 	}
 	alg, err := cfg.Algorithm()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	root := rng.New(cfg.Seed)
 	advFactory := cfg.Adversary
@@ -272,20 +318,22 @@ func newExecution(cfg Config) (*execution, error) {
 		advFactory = adversary.None()
 	}
 
-	ex := &execution{
-		cfg:       cfg,
-		alg:       alg,
-		adv:       advFactory.New(root.Fork()),
-		remaining: cfg.Budget,
-		metrics: Metrics{
-			AllInformedSlot: -1,
-			FirstHelperSlot: -1,
-			FirstHaltSlot:   -1,
-		},
+	ex.cfg = cfg
+	ex.alg = alg
+	ex.adv = advFactory.New(root.Fork())
+	ex.remaining = cfg.Budget
+	ex.metrics = Metrics{
+		AllInformedSlot: -1,
+		FirstHelperSlot: -1,
+		FirstHaltSlot:   -1,
 	}
-	ex.nodes = make([]protocol.Node, cfg.N)
-	ex.active = make([]int, 0, cfg.N)
-	ex.prevStatus = make([]protocol.Status, cfg.N)
+	ex.informedCount = 0
+	ex.helperSeen = false
+	ex.haltedCount = 0
+
+	ex.nodes = growSlice(ex.nodes, cfg.N)
+	ex.prevStatus = growSlice(ex.prevStatus, cfg.N)
+	ex.active = growSlice(ex.active, cfg.N)[:0]
 	ex.allSleepers = true
 	for id := 0; id < cfg.N; id++ {
 		ex.nodes[id] = alg.NewNode(id, id == 0, root.Fork())
@@ -302,18 +350,42 @@ func newExecution(cfg Config) (*execution, error) {
 	// (the §8 future-work extension) opt in via the Adaptive interface
 	// and receive per-slot channel observations.
 	ex.adaptive, _ = ex.adv.(adversary.Adaptive)
-	ex.net = radio.NewNetwork(cfg.N, alg.Channels(0))
-	ex.mask = bitset.New(alg.Channels(0))
-	ex.listeners = make([]int, 0, cfg.N)
-	ex.channels = make([]int, 0, cfg.N)
-	ex.transitions = make([]transition, 0, cfg.N)
-	return ex, nil
+	if ex.net == nil {
+		ex.net = radio.NewNetwork(cfg.N, alg.Channels(0))
+	} else {
+		ex.net.Reset(cfg.N, alg.Channels(0))
+	}
+	if ex.mask == nil {
+		ex.mask = bitset.New(alg.Channels(0))
+	} else {
+		ex.mask.Reset()
+		ex.mask.Grow(alg.Channels(0))
+	}
+	ex.listeners = growSlice(ex.listeners, cfg.N)[:0]
+	ex.channels = growSlice(ex.channels, cfg.N)[:0]
+	ex.transitions = growSlice(ex.transitions, cfg.N)[:0]
+	return nil
+}
+
+// growSlice returns s resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // run dispatches to the selected engine. Both engines produce bit-identical
 // Metrics; the dense loop is the reference semantics, the sparse loop the
-// fast path (see sparse.go).
+// fast path (see sparse.go). With NodeWorkers > 1 the stepping pool's
+// goroutines live exactly as long as the run — started here, joined on
+// every return path — so executions never leak workers.
 func (ex *execution) run() (Metrics, error) {
+	if ex.cfg.NodeWorkers > 1 {
+		ex.startPool()
+		defer ex.stopPool()
+	}
 	if ex.resolveEngine() == EngineDense {
 		return ex.runDense()
 	}
@@ -411,17 +483,21 @@ func (ex *execution) stepSlot(slot int64, ids []int, maintainActive bool) {
 	ex.listeners = ex.listeners[:0]
 	ex.channels = ex.channels[:0]
 	broadcasters := 0
-	for _, id := range ids {
-		nd := ex.nodes[id]
-		ex.prevStatus[id] = nd.Status()
-		act := nd.Step(slot)
-		switch act.Kind {
-		case protocol.Broadcast:
-			ex.net.Broadcast(id, act.Channel, act.Payload)
-			broadcasters++
-		case protocol.Listen:
-			ex.listeners = append(ex.listeners, id)
-			ex.channels = append(ex.channels, act.Channel)
+	if ex.pool != nil && len(ids) > 0 {
+		broadcasters = ex.pool.phase1(slot, ids)
+	} else {
+		for _, id := range ids {
+			nd := ex.nodes[id]
+			ex.prevStatus[id] = nd.Status()
+			act := nd.Step(slot)
+			switch act.Kind {
+			case protocol.Broadcast:
+				ex.net.Broadcast(id, act.Channel, act.Payload)
+				broadcasters++
+			case protocol.Listen:
+				ex.listeners = append(ex.listeners, id)
+				ex.channels = append(ex.channels, act.Channel)
+			}
 		}
 	}
 
@@ -439,7 +515,10 @@ func (ex *execution) stepSlot(slot int64, ids []int, maintainActive bool) {
 
 	// Phase 3: end-of-slot bookkeeping and status transitions.
 	ex.transitions = ex.transitions[:0]
-	if maintainActive {
+	switch {
+	case ex.pool != nil && len(ids) > 0:
+		ex.pool.phase3(slot, ids, maintainActive)
+	case maintainActive:
 		// ids aliases ex.active; the rebuild writes behind the read
 		// cursor, so the in-place filter is safe.
 		out := ex.active[:0]
@@ -455,7 +534,7 @@ func (ex *execution) stepSlot(slot int64, ids []int, maintainActive bool) {
 			}
 		}
 		ex.active = out
-	} else {
+	default:
 		for _, id := range ids {
 			nd := ex.nodes[id]
 			nd.EndSlot(slot)

@@ -87,10 +87,30 @@ type wakeRing struct {
 	buckets  [ringWindow][]int32
 	overflow wakeHeap
 	size     int
+
+	// Natural-merge scratch for popSlot: runs holds the start index of
+	// each ascending run, scratch the left side of an in-place merge.
+	// Both persist across slots (and, via the pooled execution, across
+	// trials), so sorting a steady-state bucket allocates nothing.
+	runs    []int32
+	scratch []int32
 }
 
 func newWakeRing(capacity int) *wakeRing {
 	return &wakeRing{overflow: make(wakeHeap, 0, capacity)}
+}
+
+// reset empties the ring for a new trial, keeping every allocation: the
+// bucket slices, the overflow heap's backing array, and the merge
+// scratch all retain their grown capacity.
+func (w *wakeRing) reset() {
+	w.base = 0
+	w.mask = 0
+	for i := range w.buckets {
+		w.buckets[i] = w.buckets[i][:0]
+	}
+	w.overflow = w.overflow[:0]
+	w.size = 0
 }
 
 func (w *wakeRing) push(slot int64, id int32) {
@@ -145,17 +165,7 @@ func (w *wakeRing) popSlot(cur int64, dst []int) []int {
 	if len(ids) == 0 {
 		return dst
 	}
-	// Insertion sort: entries arrive from different push slots, but the
-	// per-slot batches are already ascending, so this is near-linear.
-	for i := 1; i < len(ids); i++ {
-		v := ids[i]
-		j := i - 1
-		for j >= 0 && ids[j] > v {
-			ids[j+1] = ids[j]
-			j--
-		}
-		ids[j+1] = v
-	}
+	w.sortBucket(ids)
 	for _, id := range ids {
 		dst = append(dst, int(id))
 	}
@@ -163,6 +173,66 @@ func (w *wakeRing) popSlot(cur int64, dst []int) []int {
 	w.buckets[b] = ids[:0]
 	w.mask &^= 1 << b
 	return dst
+}
+
+// sortBucket sorts a bucket ascending by natural-run merging. Pushes from
+// one source slot arrive in ascending id order, so a bucket is a
+// concatenation of a few ascending runs (the old insertion sort exploited
+// the same structure but degraded to O(k²) when runs interleave, e.g.
+// after an overflow migration delivers heap entries in slot-major,
+// id-arbitrary order). Detecting the r runs costs O(k); merging adjacent
+// pairs bottom-up costs O(k log r) — worst case O(k log k) for k
+// descending singletons, linear for the common already-sorted bucket.
+func (w *wakeRing) sortBucket(ids []int32) {
+	w.runs = w.runs[:0]
+	for i := 0; i < len(ids); i++ {
+		if i == 0 || ids[i] < ids[i-1] {
+			w.runs = append(w.runs, int32(i))
+		}
+	}
+	for m := len(w.runs); m > 1; {
+		k := 0
+		for i := 0; i+1 < m; i += 2 {
+			hi := len(ids)
+			if i+2 < m {
+				hi = int(w.runs[i+2])
+			}
+			w.mergeRuns(ids, int(w.runs[i]), int(w.runs[i+1]), hi)
+			w.runs[k] = w.runs[i]
+			k++
+		}
+		if m%2 == 1 {
+			w.runs[k] = w.runs[m-1]
+			k++
+		}
+		m = k
+	}
+}
+
+// mergeRuns merges the adjacent ascending runs ids[lo:mid] and
+// ids[mid:hi] in place, buffering only the left run in w.scratch.
+func (w *wakeRing) mergeRuns(ids []int32, lo, mid, hi int) {
+	if mid >= hi || lo >= mid || ids[mid] >= ids[mid-1] {
+		return // already in order
+	}
+	left := append(w.scratch[:0], ids[lo:mid]...)
+	w.scratch = left[:0] // keep any grown capacity
+	i, j, k := 0, mid, lo
+	for i < len(left) && j < hi {
+		if ids[j] < left[i] {
+			ids[k] = ids[j]
+			j++
+		} else {
+			ids[k] = left[i]
+			i++
+		}
+		k++
+	}
+	for i < len(left) {
+		ids[k] = left[i]
+		i++
+		k++
+	}
 }
 
 // nextWake returns node id's next wake slot at or after now. Nodes without
@@ -186,11 +256,22 @@ func (ex *execution) runSparse() (Metrics, error) {
 	// slot (idle nodes are still not stepped).
 	skipOK := ex.adaptive == nil && ex.cfg.Observer == nil
 
-	ring := newWakeRing(ex.cfg.N)
+	// The ring and wake buffer are pooled on the execution: an Executor
+	// recycles them (and their bucket/heap/scratch capacity) across
+	// trials, so steady-state trials never rebuild the wake machinery.
+	if ex.ring == nil {
+		ex.ring = newWakeRing(ex.cfg.N)
+	} else {
+		ex.ring.reset()
+	}
+	ring := ex.ring
 	for _, id := range ex.active {
 		ring.push(ex.nextWake(id, 0), int32(id))
 	}
-	awake := make([]int, 0, ex.cfg.N)
+	if cap(ex.awake) < ex.cfg.N {
+		ex.awake = make([]int, 0, ex.cfg.N)
+	}
+	awake := ex.awake[:0]
 
 	cur := int64(0)
 	poll := 0

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// popBucket drains the ring's bucket for slot cur and returns the ids.
+func popBucket(w *wakeRing, cur int64) []int {
+	return w.popSlot(cur, nil)
+}
+
+// checkAscending fails unless ids is strictly ascending and exactly the
+// set want.
+func checkAscending(t *testing.T, ids, want []int) {
+	t.Helper()
+	sorted := append([]int(nil), want...)
+	sort.Ints(sorted)
+	if len(ids) != len(sorted) {
+		t.Fatalf("popSlot returned %d ids, want %d (%v vs %v)", len(ids), len(sorted), ids, sorted)
+	}
+	for i := range ids {
+		if ids[i] != sorted[i] {
+			t.Fatalf("popSlot order wrong at %d: got %v, want %v", i, ids, sorted)
+		}
+		if i > 0 && ids[i] <= ids[i-1] {
+			t.Fatalf("popSlot not strictly ascending at %d: %v", i, ids)
+		}
+	}
+}
+
+// TestPopSlotWorstCaseRuns drives popSlot's run-merge through the push
+// orders that degraded the old insertion sort to O(k²): interleaved
+// ascending batches, fully descending singleton pushes (the shape
+// overflow migration produces when heap entries of one slot pop in
+// id-arbitrary order), and mixtures of both — plus the already-sorted
+// common case that must stay linear and untouched.
+func TestPopSlotWorstCaseRuns(t *testing.T) {
+	const slot = int64(5)
+	push := func(w *wakeRing, ids ...int) {
+		for _, id := range ids {
+			w.push(slot, int32(id))
+		}
+	}
+	cases := []struct {
+		name string
+		fill func(w *wakeRing) []int
+	}{
+		{"already-sorted", func(w *wakeRing) []int {
+			ids := []int{0, 1, 2, 3, 5, 8, 13, 21, 34}
+			push(w, ids...)
+			return ids
+		}},
+		{"two-interleaved-batches", func(w *wakeRing) []int {
+			a := []int{0, 3, 6, 9, 12, 15}
+			b := []int{1, 4, 7, 10, 13, 16}
+			push(w, a...)
+			push(w, b...)
+			return append(a, b...)
+		}},
+		{"descending-singletons", func(w *wakeRing) []int {
+			var ids []int
+			for id := 63; id >= 0; id-- {
+				push(w, id)
+				ids = append(ids, id)
+			}
+			return ids
+		}},
+		{"batches-then-descending-tail", func(w *wakeRing) []int {
+			a := []int{2, 5, 11, 17}
+			push(w, a...)
+			ids := append([]int(nil), a...)
+			for id := 40; id > 20; id-- {
+				push(w, id)
+				ids = append(ids, id)
+			}
+			b := []int{0, 19, 50}
+			push(w, b...)
+			return append(ids, b...)
+		}},
+		{"single", func(w *wakeRing) []int {
+			push(w, 42)
+			return []int{42}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := newWakeRing(64)
+			want := tc.fill(w)
+			got := popBucket(w, slot)
+			checkAscending(t, got, want)
+			if w.size != 0 {
+				t.Fatalf("size = %d after draining, want 0", w.size)
+			}
+			if w.mask != 0 {
+				t.Fatalf("mask = %#x after draining, want 0", w.mask)
+			}
+		})
+	}
+}
+
+// TestPopSlotOverflowMigration pushes far-future wakes through the heap
+// tier and verifies that after the window advances, popSlot still emits
+// the migrated bucket in ascending id order — migration inserts heap
+// entries one by one, so a bucket can accumulate many length-1 runs.
+func TestPopSlotOverflowMigration(t *testing.T) {
+	w := newWakeRing(128)
+	const slot = int64(3 * ringWindow)
+	// Far-future pushes in descending id order: all land in the heap.
+	var want []int
+	for id := 99; id >= 0; id-- {
+		w.push(slot, int32(id))
+		want = append(want, id)
+	}
+	if len(w.overflow) != 100 {
+		t.Fatalf("expected all pushes in overflow, got %d", len(w.overflow))
+	}
+	w.advance(slot) // migrate into the ring bucket
+	got := popBucket(w, slot)
+	checkAscending(t, got, want)
+}
+
+// TestPopSlotReusedBucketsRandomized cycles one ring through many
+// slot generations with randomized interleaved batches, checking every
+// pop against a sort oracle — the bucket slices, run table, and merge
+// scratch are all reused across generations, exactly as in a pooled
+// execution.
+func TestPopSlotReusedBucketsRandomized(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	w := newWakeRing(64)
+	cur := int64(0)
+	for gen := 0; gen < 200; gen++ {
+		w.advance(cur)
+		var want []int
+		seen := map[int]bool{}
+		for batch := 0; batch < 1+rnd.Intn(4); batch++ {
+			// Each batch is ascending (as real push sources are), with
+			// random gaps; batches interleave arbitrarily.
+			id := rnd.Intn(10)
+			for len(want) < 48 && id < 1000 {
+				if !seen[id] {
+					seen[id] = true
+					w.push(cur, int32(id))
+					want = append(want, id)
+				}
+				id += 1 + rnd.Intn(30)
+			}
+		}
+		got := popBucket(w, cur)
+		checkAscending(t, got, want)
+		cur += int64(1 + rnd.Intn(3*ringWindow))
+	}
+}

@@ -114,6 +114,11 @@ type Config struct {
 	Observer Observer
 	// Engine selects the slot-loop implementation (default: EngineAuto).
 	Engine Engine
+	// NodeWorkers partitions each slot's node stepping across this many
+	// goroutines (0 or 1: serial). Results are bit-identical for every
+	// worker count; worth it only when many nodes act per slot (large N
+	// or the dense engine).
+	NodeWorkers int
 }
 
 // workload converts the public Config to the internal workload
@@ -143,6 +148,7 @@ func (cfg Config) build() (sim.Config, error) {
 	}
 	sc.Observer = cfg.Observer
 	sc.Engine = cfg.Engine
+	sc.NodeWorkers = cfg.NodeWorkers
 	return sc, nil
 }
 
