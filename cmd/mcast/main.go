@@ -88,7 +88,7 @@ func main() {
 		trace       = flag.Bool("trace", false, "print a per-1000-slot trace of the first trial")
 		curve       = flag.Bool("curve", false, "print sparkline charts of the run (informed/halted/jammed/traffic)")
 		alpha       = flag.Float64("alpha", 0, "override MultiCastAdv α (0 = preset)")
-		engName     = flag.String("engine", "auto", "slot-loop engine: auto|dense|sparse (identical results; dense is the reference loop)")
+		engName     = flag.String("engine", "auto", "slot-loop engine: auto|dense|sparse|event (identical results; dense is the reference loop)")
 		shardStr    = flag.String("shard", "", "run shard i/k of the trial batch or sweep grid (e.g. 0/3); implies summary output")
 		sumOut      = flag.String("summary-out", "", "write the mergeable summary JSON to this path")
 		merge       = flag.Bool("merge", false, "merge the shard summary files given as arguments and print the combined summary")

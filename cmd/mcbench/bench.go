@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -82,7 +83,9 @@ type benchReport struct {
 	Scenario         map[string]any `json:"scenario"`
 	Dense            engineResult   `json:"dense"`
 	Sparse           engineResult   `json:"sparse"`
+	Event            *engineResult  `json:"event,omitempty"`
 	Speedup          float64        `json:"speedup"`
+	EventSpeedup     float64        `json:"event_speedup,omitempty"`
 	ParallelWorkers  int            `json:"parallel_workers,omitempty"`
 	ParallelBaseline *engineResult  `json:"parallel_baseline,omitempty"`
 	Parallel         *engineResult  `json:"parallel,omitempty"`
@@ -90,14 +93,19 @@ type benchReport struct {
 }
 
 // runEngine executes the scenario's trials serially on one engine so the
-// measurements are comparable and unaffected by trial parallelism.
-// Allocations are metered over the whole loop (runtime mallocs, not
-// bytes), so the reported allocs/slot includes the per-trial setup cost
-// amortised over each trial's slots — the steady-state rate the engine's
-// alloc-free pin guards is isolated by internal/sim's TestSlotLoopAllocFree.
+// measurements are comparable and unaffected by trial parallelism. It
+// goes through RunTrialsContext with a single worker, so one pooled
+// Executor is recycled across the trials — the deployment shape every
+// other driver (mcast, the campaign shards, the matrix mode) uses — and
+// the seeds are Seed+t = 1..trials, the same set the old per-Run loop
+// measured. Allocations are metered over the whole batch (runtime
+// mallocs, not bytes), so the reported allocs/slot includes the pool's
+// amortised per-trial reset cost; the steady-state alloc-free pin is
+// isolated by internal/sim's TestSlotLoopAllocFree.
 func runEngine(cfg multicast.Config, engine multicast.Engine, nodeWorkers int, trials uint64) (engineResult, error) {
 	cfg.Engine = engine
 	cfg.NodeWorkers = nodeWorkers
+	cfg.Seed = 1
 	res := engineResult{Engine: engine.String()}
 	if nodeWorkers > 1 {
 		res.Workers = nodeWorkers
@@ -106,18 +114,19 @@ func runEngine(cfg multicast.Config, engine multicast.Engine, nodeWorkers int, t
 	runtime.ReadMemStats(&ms)
 	mallocs := ms.Mallocs
 	start := time.Now()
-	for seed := uint64(1); seed <= trials; seed++ {
-		cfg.Seed = seed
-		m, err := multicast.Run(cfg)
-		if err != nil {
-			return res, fmt.Errorf("engine %v seed %d: %w", engine, seed, err)
-		}
-		res.Slots += m.Slots
-		if m.MaxNodeEnergy > res.MaxNodeCost {
-			res.MaxNodeCost = m.MaxNodeEnergy
-		}
-		res.EveCost += m.EveEnergy
-		res.TrialsPassed++
+	err := multicast.RunTrialsContext(context.Background(), cfg,
+		multicast.TrialPlan{Trials: int(trials), Workers: 1},
+		func(_ int, m multicast.Metrics) error {
+			res.Slots += m.Slots
+			if m.MaxNodeEnergy > res.MaxNodeCost {
+				res.MaxNodeCost = m.MaxNodeEnergy
+			}
+			res.EveCost += m.EveEnergy
+			res.TrialsPassed++
+			return nil
+		})
+	if err != nil {
+		return res, fmt.Errorf("engine %v: %w", engine, err)
 	}
 	res.Seconds = time.Since(start).Seconds()
 	runtime.ReadMemStats(&ms)
@@ -139,9 +148,11 @@ func resolveParallelWorkers(parallel int) int {
 	return max(2, runtime.GOMAXPROCS(0))
 }
 
-// runEngineBench measures dense vs sparse slots/sec on the fixed
-// scenario, plus the NodeWorkers fan-out on the large-n dense scenario,
-// and writes the JSON report to path.
+// runEngineBench measures dense vs sparse vs event slots/sec on the
+// fixed scenario, plus the NodeWorkers fan-out on the large-n dense
+// scenario, and writes the JSON report to path. All three engines must
+// produce identical slot and Eve-energy totals — the benchmark doubles
+// as an end-to-end equivalence check on the exact workload it times.
 func runEngineBench(path string, quick bool, parallel int) error {
 	trials := uint64(benchTrials)
 	ptrials := uint64(benchParallelTrials)
@@ -163,9 +174,14 @@ func runEngineBench(path string, quick bool, parallel int) error {
 	if err != nil {
 		return err
 	}
-	if dense.Slots != sparse.Slots || dense.EveCost != sparse.EveCost {
-		return fmt.Errorf("engine divergence: dense ran %d slots (Eve %d), sparse %d (Eve %d)",
-			dense.Slots, dense.EveCost, sparse.Slots, sparse.EveCost)
+	event, err := runEngine(scenario, multicast.EngineEvent, 1, trials)
+	if err != nil {
+		return err
+	}
+	if dense.Slots != sparse.Slots || dense.EveCost != sparse.EveCost ||
+		dense.Slots != event.Slots || dense.EveCost != event.EveCost {
+		return fmt.Errorf("engine divergence: dense ran %d slots (Eve %d), sparse %d (Eve %d), event %d (Eve %d)",
+			dense.Slots, dense.EveCost, sparse.Slots, sparse.EveCost, event.Slots, event.EveCost)
 	}
 	workers := resolveParallelWorkers(parallel)
 	pbase, err := runEngine(benchParallelScenario(), multicast.EngineDense, 1, ptrials)
@@ -181,7 +197,7 @@ func runEngineBench(path string, quick bool, parallel int) error {
 			pbase.Slots, pbase.EveCost, workers, ppar.Slots, ppar.EveCost)
 	}
 	report := benchReport{
-		Benchmark:  "sim-engine-dense-vs-sparse",
+		Benchmark:  "sim-engine-comparison",
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -197,7 +213,9 @@ func runEngineBench(path string, quick bool, parallel int) error {
 		},
 		Dense:            dense,
 		Sparse:           sparse,
+		Event:            &event,
 		Speedup:          sparse.SlotsPerSec / dense.SlotsPerSec,
+		EventSpeedup:     event.SlotsPerSec / dense.SlotsPerSec,
 		ParallelWorkers:  workers,
 		ParallelBaseline: &pbase,
 		Parallel:         &ppar,
@@ -211,8 +229,9 @@ func runEngineBench(path string, quick bool, parallel int) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("engine benchmark: dense %.0f slots/s, sparse %.0f slots/s (%.2fx) → %s\n",
-		dense.SlotsPerSec, sparse.SlotsPerSec, report.Speedup, path)
+	fmt.Printf("engine benchmark: dense %.0f slots/s, sparse %.0f slots/s (%.2fx), event %.0f slots/s (%.2fx) → %s\n",
+		dense.SlotsPerSec, sparse.SlotsPerSec, report.Speedup,
+		event.SlotsPerSec, report.EventSpeedup, path)
 	fmt.Printf("parallel (n=%d dense, %d workers): serial %.0f slots/s, parallel %.0f slots/s (%.2fx)\n",
 		benchParallelScenario().N, workers, pbase.SlotsPerSec, ppar.SlotsPerSec, report.ParallelSpeedup)
 	return nil

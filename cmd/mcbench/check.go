@@ -17,10 +17,10 @@ import (
 // boxes differ, so raw slots/s against a committed absolute would gate
 // on hardware, not code:
 //
-//   - speedup ratio (sparse slots/s ÷ dense slots/s) must stay within
-//     tolerance of the committed ratio — both engines run on the same
-//     box in the same process, so the ratio cancels the hardware out
-//     and catches sparse fast-path regressions;
+//   - speedup ratios (sparse slots/s ÷ dense, event slots/s ÷ dense)
+//     must stay within tolerance of the committed ratios — all engines
+//     run on the same box in the same process, so the ratio cancels the
+//     hardware out and catches fast-path regressions;
 //   - allocs/slot per engine must not grow by more than half an
 //     allocation — allocation counts are deterministic per workload,
 //     hardware-independent, and the first thing accidental per-slot
@@ -28,8 +28,11 @@ import (
 //   - the parallel (NodeWorkers) speedup ratio is compared the same
 //     way, but only when this machine's GOMAXPROCS matches the
 //     committed report's — a fan-out measured on k cores says nothing
-//     about one measured on a different k (skips are logged, never
-//     silent).
+//     about one measured on a different k.
+//
+// A check that cannot run prints an explicit `SKIP (reason)` line and
+// is counted in the exit summary, so a gate that quietly measured
+// nothing is visible in the CI log.
 //
 // Absolute throughput is still printed for context. tolerance is the
 // fraction of the committed ratio head must retain (0.85 = within 15%);
@@ -72,6 +75,7 @@ func runEngineCheck(path string, quick bool, tolerance float64) error {
 	}
 
 	var failures []string
+	var skipped int
 	check := func(name string, got, committedV, floor float64, pass bool) {
 		status := "ok"
 		if !pass {
@@ -81,21 +85,47 @@ func runEngineCheck(path string, quick bool, tolerance float64) error {
 		fmt.Printf("%-22s measured %.3f  committed %.3f  floor %.3f  %s\n",
 			name, got, committedV, floor, status)
 	}
+	// skip logs an explicitly skipped check; skips are counted into the
+	// exit summary so a gate that silently measured nothing is visible.
+	skip := func(name, reason string) {
+		skipped++
+		fmt.Printf("%-22s SKIP (%s)\n", name, reason)
+	}
 
 	speedup := sparse.SlotsPerSec / dense.SlotsPerSec
 	check("speedup sparse/dense", speedup, committed.Speedup,
 		tolerance*committed.Speedup, speedup >= tolerance*committed.Speedup)
-	for _, c := range []struct {
+
+	var event engineResult
+	if committed.Event == nil || committed.EventSpeedup <= 0 {
+		skip("speedup event/dense", "committed report predates the event engine")
+	} else {
+		event, err = runEngine(benchScenario(), multicast.EngineEvent, 1, trials)
+		if err != nil {
+			return err
+		}
+		check("speedup event/dense", event.SlotsPerSec/dense.SlotsPerSec, committed.EventSpeedup,
+			tolerance*committed.EventSpeedup, event.SlotsPerSec/dense.SlotsPerSec >= tolerance*committed.EventSpeedup)
+	}
+
+	allocChecks := []struct {
 		name      string
 		got, base float64
 	}{
 		{"allocs/slot dense", dense.AllocsPerSlot, committed.Dense.AllocsPerSlot},
 		{"allocs/slot sparse", sparse.AllocsPerSlot, committed.Sparse.AllocsPerSlot},
-	} {
+	}
+	if committed.Event != nil && event.TrialsPassed > 0 {
+		allocChecks = append(allocChecks, struct {
+			name      string
+			got, base float64
+		}{"allocs/slot event", event.AllocsPerSlot, committed.Event.AllocsPerSlot})
+	}
+	for _, c := range allocChecks {
 		if c.base == 0 && c.got > 0 {
 			// A report generated before allocs/slot existed: nothing to
 			// compare, say so rather than silently passing.
-			fmt.Printf("%-22s measured %.3f  committed report has no alloc baseline — skipped\n", c.name, c.got)
+			skip(c.name, fmt.Sprintf("measured %.3f but committed report has no alloc baseline", c.got))
 			continue
 		}
 		check(c.name, c.got, c.base, c.base+0.5, c.got <= c.base+0.5)
@@ -103,8 +133,8 @@ func runEngineCheck(path string, quick bool, tolerance float64) error {
 
 	if committed.Parallel != nil && committed.ParallelBaseline != nil && committed.ParallelSpeedup > 0 {
 		if g := runtime.GOMAXPROCS(0); g != committed.GOMAXPROCS {
-			fmt.Printf("parallel speedup       skipped: GOMAXPROCS %d here vs %d in %s (fan-out ratios are not comparable across core counts)\n",
-				g, committed.GOMAXPROCS, path)
+			// Fan-out ratios are not comparable across core counts.
+			skip("parallel speedup", fmt.Sprintf("gomaxprocs %d != %d", g, committed.GOMAXPROCS))
 		} else {
 			workers := committed.ParallelWorkers
 			if workers < 2 {
@@ -126,9 +156,14 @@ func runEngineCheck(path string, quick bool, tolerance float64) error {
 
 	fmt.Printf("context: dense %.0f slots/s (committed %.0f), sparse %.0f slots/s (committed %.0f)\n",
 		dense.SlotsPerSec, committed.Dense.SlotsPerSec, sparse.SlotsPerSec, committed.Sparse.SlotsPerSec)
-	if len(failures) > 0 {
-		return fmt.Errorf("perf gate: %d check(s) regressed past tolerance %.2f: %v", len(failures), tolerance, failures)
+	if committed.Event != nil && event.TrialsPassed > 0 {
+		fmt.Printf("context: event %.0f slots/s (committed %.0f)\n",
+			event.SlotsPerSec, committed.Event.SlotsPerSec)
 	}
-	fmt.Printf("perf gate: all checks within tolerance %.2f of %s\n", tolerance, path)
+	if len(failures) > 0 {
+		return fmt.Errorf("perf gate: %d check(s) regressed past tolerance %.2f (%d skipped): %v",
+			len(failures), tolerance, skipped, failures)
+	}
+	fmt.Printf("perf gate: all checks within tolerance %.2f of %s (%d skipped)\n", tolerance, path, skipped)
 	return nil
 }

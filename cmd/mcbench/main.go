@@ -9,18 +9,21 @@
 //	mcbench -run E3,E9        run a subset
 //	mcbench -quick            trimmed sweeps (~2 minutes)
 //	mcbench -markdown         emit GitHub-flavoured markdown (for EXPERIMENTS.md)
-//	mcbench -bench-sim BENCH_sim.json           measure dense vs sparse engines
+//	mcbench -bench-sim BENCH_sim.json           measure the dense/sparse/event engines
 //	mcbench -bench-sim out.json -quick          engine-benchmark smoke run (CI)
 //	mcbench -check BENCH_sim.json -quick        perf-regression gate against the committed report
 //	mcbench -check BENCH_sim.json -tolerance 0.85   …with an explicit regression floor
 //	mcbench -matrix                             engine matrix: algorithms × engines × densities
 //	mcbench -matrix -matrix-out matrix.json     …and write the rows as JSON
+//	mcbench -run E3 -cpuprofile cpu.pprof       profile a run (see docs/PERFORMANCE.md)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,50 +31,89 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body behind an exit code, so the deferred profile
+// writers (-cpuprofile/-memprofile) flush on every path — os.Exit in
+// main would skip them.
+func run() int {
 	var (
-		list      = flag.Bool("list", false, "list experiments and exit")
-		run       = flag.String("run", "", "comma-separated experiment IDs (empty = all)")
-		quick     = flag.Bool("quick", false, "trimmed parameter sweeps")
-		trials    = flag.Int("trials", 0, "override trials per data point (0 = per-experiment default)")
-		seed      = flag.Uint64("seed", 1, "base random seed")
-		markdown  = flag.Bool("markdown", false, "emit markdown tables")
-		csv       = flag.Bool("csv", false, "emit CSV tables (no claims/notes)")
-		benchSim  = flag.String("bench-sim", "", "measure dense vs sparse engine throughput and write the JSON report to this path (e.g. BENCH_sim.json), then exit")
-		parallel  = flag.Int("parallel", 0, "with -bench-sim: NodeWorkers fan-out width of the parallel benchmark entry (0 = GOMAXPROCS, min 2)")
-		checkPath = flag.String("check", "", "re-measure the engine scenarios and fail if they regressed past -tolerance of this committed report (the CI perf gate), then exit")
-		tolerance = flag.Float64("tolerance", 0.85, "with -check: fraction of each committed ratio head must retain (>1 demands head be faster — used to smoke-test the gate)")
-		matrix    = flag.Bool("matrix", false, "run the engine benchmark matrix (algorithms × engines × densities) and exit")
-		matOut    = flag.String("matrix-out", "", "with -matrix: also write the rows as JSON to this path")
-		engine    = flag.String("engine", "auto", "slot-loop engine for experiments: auto, dense, or sparse (results are identical; dense is the reference loop)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		runIDs     = flag.String("run", "", "comma-separated experiment IDs (empty = all)")
+		quick      = flag.Bool("quick", false, "trimmed parameter sweeps")
+		trials     = flag.Int("trials", 0, "override trials per data point (0 = per-experiment default)")
+		seed       = flag.Uint64("seed", 1, "base random seed")
+		markdown   = flag.Bool("markdown", false, "emit markdown tables")
+		csv        = flag.Bool("csv", false, "emit CSV tables (no claims/notes)")
+		benchSim   = flag.String("bench-sim", "", "measure dense/sparse/event engine throughput and write the JSON report to this path (e.g. BENCH_sim.json), then exit")
+		parallel   = flag.Int("parallel", 0, "with -bench-sim: NodeWorkers fan-out width of the parallel benchmark entry (0 = GOMAXPROCS, min 2)")
+		checkPath  = flag.String("check", "", "re-measure the engine scenarios and fail if they regressed past -tolerance of this committed report (the CI perf gate), then exit")
+		tolerance  = flag.Float64("tolerance", 0.85, "with -check: fraction of each committed ratio head must retain (>1 demands head be faster — used to smoke-test the gate)")
+		matrix     = flag.Bool("matrix", false, "run the engine benchmark matrix (algorithms × engines × densities) and exit")
+		matOut     = flag.String("matrix-out", "", "with -matrix: also write the rows as JSON to this path")
+		engine     = flag.String("engine", "auto", "slot-loop engine for experiments: auto, dense, sparse, or event (results are identical; dense is the reference loop)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file (inspect with go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit (inspect with go tool pprof)")
 	)
 	flag.Parse()
 
 	eng, err := multicast.ParseEngine(*engine)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
-		os.Exit(1)
+		return 1
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mcbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush unreached garbage so the profile shows live + cumulative allocs
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mcbench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	if *benchSim != "" {
 		if err := runEngineBench(*benchSim, *quick, *parallel); err != nil {
 			fmt.Fprintf(os.Stderr, "mcbench: engine benchmark failed: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *checkPath != "" {
 		if err := runEngineCheck(*checkPath, *quick, *tolerance); err != nil {
 			fmt.Fprintf(os.Stderr, "mcbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *matrix {
 		if err := runMatrix(*matOut, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "mcbench: engine matrix failed: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	all := multicast.Experiments()
@@ -79,18 +121,18 @@ func main() {
 		for _, e := range all {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
-		return
+		return 0
 	}
 
 	var selected []multicast.Experiment
-	if *run == "" {
+	if *runIDs == "" {
 		selected = all
 	} else {
-		for _, id := range strings.Split(*run, ",") {
+		for _, id := range strings.Split(*runIDs, ",") {
 			e, ok := multicast.ExperimentByID(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "mcbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(1)
+				return 1
 			}
 			selected = append(selected, e)
 		}
@@ -117,6 +159,7 @@ func main() {
 		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

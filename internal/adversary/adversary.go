@@ -57,6 +57,22 @@ type RangeSpender interface {
 	SpendRange(from, to int64, channels int) int64
 }
 
+// PrefixJammer is an optional Strategy extension for deterministic
+// strategies whose jam set in every slot is a channel prefix [0, k).
+// JamPrefix returns that k: it must equal what Fill would return for the
+// slot, with Fill's mask being exactly the channels [0, k), and it must
+// not consume randomness or mutate state. Engines use it to answer
+// jam-membership queries (is channel ch jammed?) in closed form, without
+// materialising a mask — note that truncating a prefix jam set to a
+// smaller budget (Truncate clears from the highest channel down) yields
+// the shorter prefix [0, budget), so budget enforcement stays closed-form
+// too. Randomised strategies must not implement this interface: their
+// Fill draws are part of the reproducible stream.
+type PrefixJammer interface {
+	// JamPrefix returns the slot's jammed-prefix length k.
+	JamPrefix(slot int64, channels int) int
+}
+
 // factoryFunc adapts a closure to Factory.
 type factoryFunc struct {
 	name string
@@ -100,6 +116,7 @@ type none struct{}
 func (none) Name() string                       { return "none" }
 func (none) Fill(int64, int, *bitset.Set) int   { return 0 }
 func (none) SpendRange(int64, int64, int) int64 { return 0 }
+func (none) JamPrefix(int64, int) int           { return 0 }
 
 // None returns the absent adversary (T = 0).
 func None() Factory {
@@ -130,6 +147,14 @@ func (b fullBurst) SpendRange(from, to int64, channels int) int64 {
 		return 0
 	}
 	return (to - from) * int64(channels)
+}
+
+// JamPrefix implements PrefixJammer: the whole spectrum from slot start.
+func (b fullBurst) JamPrefix(slot int64, channels int) int {
+	if slot < b.start {
+		return 0
+	}
+	return channels
 }
 
 // FullBurst jams every channel in every slot from slot start until the
@@ -169,6 +194,18 @@ func (b blockFraction) SpendRange(from, to int64, channels int) int64 {
 		return 0
 	}
 	return (to - from) * int64(k)
+}
+
+// JamPrefix implements PrefixJammer: the fixed ⌈f·c⌉-channel block.
+func (b blockFraction) JamPrefix(slot int64, channels int) int {
+	k := int(math.Ceil(b.f * float64(channels)))
+	if k > channels {
+		k = channels
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
 }
 
 // BlockFraction jams a fixed ⌈f·c⌉-channel block every slot. Because honest
@@ -295,6 +332,24 @@ func (p pulse) Fill(slot int64, channels int, mask *bitset.Set) int {
 		return 0
 	}
 	mask.SetRange(0, k)
+	return k
+}
+
+// JamPrefix implements PrefixJammer: the f-fraction block on duty slots.
+func (p pulse) JamPrefix(slot int64, channels int) int {
+	if p.stopAfter > 0 && slot >= p.stopAfter {
+		return 0
+	}
+	if slot%p.period >= p.duty {
+		return 0
+	}
+	k := int(math.Ceil(p.f * float64(channels)))
+	if k > channels {
+		k = channels
+	}
+	if k < 0 {
+		k = 0
+	}
 	return k
 }
 

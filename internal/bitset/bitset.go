@@ -100,15 +100,21 @@ func (s *Set) SetRange(lo, hi int) {
 	if lo < 0 || hi > s.n || lo > hi {
 		panic("bitset: SetRange bounds out of range")
 	}
-	for i := lo; i < hi; {
-		if i&63 == 0 && i+64 <= hi {
-			s.words[i>>6] = ^uint64(0)
-			i += 64
-			continue
-		}
-		s.words[i>>6] |= 1 << (uint(i) & 63)
-		i++
+	if lo == hi {
+		return
 	}
+	first, last := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if first == last {
+		s.words[first] |= loMask & hiMask
+		return
+	}
+	s.words[first] |= loMask
+	for i := first + 1; i < last; i++ {
+		s.words[i] = ^uint64(0)
+	}
+	s.words[last] |= hiMask
 }
 
 // CopyFrom makes s an exact copy of other (capacity and contents).

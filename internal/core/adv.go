@@ -80,12 +80,13 @@ func (a *MultiCastAdv) ChannelSpan(slot int64) (int, int64) {
 // adversaries and experiment harnesses.
 func (a *MultiCastAdv) Schedule() *AdvSchedule { return newAdvSchedule(a.params, a.jCut) }
 
-// NewNode implements protocol.Algorithm.
+// NewNode implements protocol.Algorithm. Per the protocol contract, the
+// node copies *r; the pointer is not retained.
 func (a *MultiCastAdv) NewNode(id int, source bool, r *rng.Source) protocol.Node {
 	nd := &advNode{
 		alg:   a,
 		sched: newAdvSchedule(a.params, a.jCut),
-		r:     r,
+		r:     *r,
 		win:   0,
 	}
 	if source {
@@ -100,7 +101,7 @@ func (a *MultiCastAdv) NewNode(id int, source bool, r *rng.Source) protocol.Node
 type advNode struct {
 	alg    *MultiCastAdv
 	sched  *AdvSchedule
-	r      *rng.Source
+	r      rng.Source
 	status protocol.Status
 	knowsM bool
 

@@ -63,9 +63,10 @@ func (a *MultiCast) ListenProb(i int) float64 {
 	return math.Exp2(-float64(i))
 }
 
-// NewNode implements protocol.Algorithm.
+// NewNode implements protocol.Algorithm. Per the protocol contract, the
+// node copies *r; the pointer is not retained.
 func (a *MultiCast) NewNode(id int, source bool, r *rng.Source) protocol.Node {
-	nd := &mcastNode{alg: a, r: r}
+	nd := &mcastNode{alg: a, r: *r}
 	if source {
 		nd.status = protocol.Informed
 		nd.knowsM = true
@@ -77,7 +78,7 @@ func (a *MultiCast) NewNode(id int, source bool, r *rng.Source) protocol.Node {
 // mcastNode is one node's MultiCast state machine.
 type mcastNode struct {
 	alg     *MultiCast
-	r       *rng.Source
+	r       rng.Source
 	status  protocol.Status
 	knowsM  bool
 	iter    int     // current iteration index i
@@ -248,9 +249,10 @@ func (a *MultiCastC) EffectiveC() int { return a.c }
 // RoundLength returns the number of physical slots per simulated slot.
 func (a *MultiCastC) RoundLength() int64 { return a.subSlots }
 
-// NewNode implements protocol.Algorithm.
+// NewNode implements protocol.Algorithm. Per the protocol contract, the
+// node copies *r; the pointer is not retained.
 func (a *MultiCastC) NewNode(id int, source bool, r *rng.Source) protocol.Node {
-	nd := &mcastCNode{alg: a, r: r}
+	nd := &mcastCNode{alg: a, r: *r}
 	if source {
 		nd.status = protocol.Informed
 		nd.knowsM = true
@@ -262,7 +264,7 @@ func (a *MultiCastC) NewNode(id int, source bool, r *rng.Source) protocol.Node {
 // mcastCNode is one node's MultiCast(C) state machine.
 type mcastCNode struct {
 	alg     *MultiCastC
-	r       *rng.Source
+	r       rng.Source
 	status  protocol.Status
 	knowsM  bool
 	iter    int

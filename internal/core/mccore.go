@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"multicast/internal/protocol"
 	"multicast/internal/radio"
@@ -22,6 +23,15 @@ type MultiCastCore struct {
 	channels int
 	iterLen  int64
 	haltMax  float64 // halt iff Nn < haltMax at iteration end
+	lnq      float64 // ln(1−CoreP), hoisted out of drawGap
+	lnq2     float64 // ln(1−2·CoreP), the informed rate
+
+	// slab batches node allocations: NewNode carves nodes out of
+	// n-node chunks instead of allocating each one, so a recycled
+	// Executor costs ~1 allocation per trial instead of n. The mutex
+	// serialises concurrent trial workers sharing one algorithm value.
+	mu   sync.Mutex
+	slab []coreNode
 }
 
 // NewMultiCastCore builds the algorithm for n nodes and adversary budget
@@ -47,6 +57,8 @@ func NewMultiCastCore(params Params, n int, t int64) (*MultiCastCore, error) {
 		channels: maxInt(n/params.channelDiv(), 1),
 		iterLen:  iterLen,
 		haltMax:  params.HaltRatio * params.CoreP * float64(iterLen),
+		lnq:      math.Log1p(-params.CoreP),
+		lnq2:     math.Log1p(-2 * params.CoreP),
 	}, nil
 }
 
@@ -84,9 +96,16 @@ func (a *MultiCastCore) ChannelSpan(slot int64) (int, int64) {
 // IterationLength returns R, the slots per iteration.
 func (a *MultiCastCore) IterationLength() int64 { return a.iterLen }
 
-// NewNode implements protocol.Algorithm.
+// NewNode implements protocol.Algorithm. Per the protocol contract, the
+// node copies *r; the pointer is not retained.
 func (a *MultiCastCore) NewNode(id int, source bool, r *rng.Source) protocol.Node {
-	n := &coreNode{alg: a, r: r}
+	a.mu.Lock()
+	if len(a.slab) == cap(a.slab) {
+		a.slab = make([]coreNode, 0, maxInt(a.n, 1))
+	}
+	a.slab = append(a.slab, coreNode{alg: a, r: *r})
+	n := &a.slab[len(a.slab)-1]
+	a.mu.Unlock()
 	if source {
 		n.status = protocol.Informed
 		n.knowsM = true
@@ -98,7 +117,7 @@ func (a *MultiCastCore) NewNode(id int, source bool, r *rng.Source) protocol.Nod
 // coreNode is one node's MultiCastCore state machine.
 type coreNode struct {
 	alg    *MultiCastCore
-	r      *rng.Source
+	r      rng.Source
 	status protocol.Status
 	knowsM bool // whether the node has the message (≠ status: a node
 	// can halt uninformed, and Informed() must keep reporting the truth)
@@ -119,11 +138,11 @@ type coreNode struct {
 // is a gap invariant. Gaps truncate at the iteration boundary — exact by
 // memorylessness — where the boundary bookkeeping redraws.
 func (nd *coreNode) drawGap() {
-	q := nd.alg.params.CoreP
+	lnq := nd.alg.lnq
 	if nd.status == protocol.Informed {
-		q *= 2
+		lnq = nd.alg.lnq2
 	}
-	nd.nextIdx = nd.slotIdx + nd.r.GeometricCapped(q, nd.alg.iterLen-nd.slotIdx)
+	nd.nextIdx = nd.slotIdx + nd.r.GeometricCappedLn(lnq, nd.alg.iterLen-nd.slotIdx)
 }
 
 func (nd *coreNode) Status() protocol.Status { return nd.status }

@@ -150,7 +150,10 @@ type Algorithm interface {
 	// Name identifies the algorithm in reports.
 	Name() string
 	// NewNode returns the state machine for node id. Exactly one node per
-	// execution is the source. r is the node's private random stream.
+	// execution is the source. r is the node's private random stream; the
+	// pointer is only valid during the call — implementations must copy
+	// the Source value (the caller may reuse the backing storage for the
+	// next node's stream).
 	NewNode(id int, source bool, r *rng.Source) Node
 	// Channels returns the number of channels the algorithm may use in
 	// the given slot (≥ 1).

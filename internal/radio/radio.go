@@ -160,6 +160,23 @@ func (nw *Network) ChargeEve(amount int64) {
 	nw.eveEnergy += amount
 }
 
+// ChargeNode adds one unit to node id's energy meter without running a
+// slot. The event engine's lean step resolves channel outcomes itself —
+// outside BeginSlot/EndSlot — but all energy metering still lands here,
+// so the competitive ratios stay audited in one place.
+func (nw *Network) ChargeNode(id int) {
+	if id < 0 || id >= len(nw.nodeEnergy) {
+		chargeNodePanic(id)
+	}
+	nw.nodeEnergy[id]++
+}
+
+// chargeNodePanic is split out so ChargeNode stays inlinable on the
+// engines' hot path.
+func chargeNodePanic(id int) {
+	panic(fmt.Sprintf("radio: node id %d out of range", id))
+}
+
 // Reset returns the network to its just-constructed state while keeping
 // its allocations, so a pooled execution (sim.Executor) can reuse one
 // network across trials. The channel-state slice keeps its full length —

@@ -88,6 +88,41 @@ func TestGeometricCapped(t *testing.T) {
 	}
 }
 
+// TestGeometricLnMatchesGeometric pins the cached-log variants to the
+// originals draw for draw: GeometricLn(Log1p(-p)) must return the same
+// gap as Geometric(p) from the same stream state, across regular rates
+// and every degenerate edge (p > 1 → NaN, p = 1 → −Inf, p = 0 → 0,
+// p < 0 → positive lnQ). The engines precompute lnQ once per window and
+// rely on this exactness for dense/sparse/event bit-identity.
+func TestGeometricLnMatchesGeometric(t *testing.T) {
+	ps := []float64{0.5, 0.25, 1.0 / 32, 1.0 / 64, 1.0 / 4096, 0, 1, 1.5, -0.25}
+	a, b := New(17), New(17)
+	for i := 0; i < 1000; i++ {
+		p := ps[i%len(ps)]
+		lnQ := math.Log1p(-p)
+		ga, gb := a.Geometric(p), b.GeometricLn(lnQ)
+		if ga != gb {
+			t.Fatalf("draw %d: Geometric(%v) = %d, GeometricLn(%v) = %d", i, p, ga, lnQ, gb)
+		}
+	}
+	// The streams must still be aligned after the mixed-edge sequence.
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged after equal gaps (draw %d)", i)
+		}
+	}
+	// Capped variant, including the cap binding and not binding.
+	a, b = New(19), New(19)
+	for i := 0; i < 1000; i++ {
+		p := ps[i%len(ps)]
+		limit := int64(1 + i%7)
+		ga, gb := a.GeometricCapped(p, limit), b.GeometricCappedLn(math.Log1p(-p), limit)
+		if ga != gb {
+			t.Fatalf("draw %d: GeometricCapped(%v,%d) = %d, Ln variant = %d", i, p, limit, ga, gb)
+		}
+	}
+}
+
 // chiSquareGeometric bins observed gap samples against the analytic
 // geometric pmf — bins 0 … cut−1 plus one tail bin P(G ≥ cut) = (1−p)^cut
 // — and returns the chi-square statistic (df = cut).

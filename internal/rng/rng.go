@@ -167,6 +167,37 @@ func (r *Source) GeometricCapped(p float64, limit int64) int64 {
 	return limit
 }
 
+// GeometricLn is Geometric with the denominator precomputed: lnQ must be
+// math.Log1p(-p) for the success probability p. The division by lnQ uses
+// the same expression tree as Geometric, so for equal p the two functions
+// return bit-identical results from identical draws — GeometricLn exists
+// so per-draw callers can hoist the Log1p out of their hot loop. The
+// degenerate edges mirror Geometric's and consume no draw: p ≥ 1 maps to
+// lnQ = −Inf (p = 1) or NaN (p > 1) and returns 0; p ≤ 0 maps to
+// lnQ ≥ 0 and returns MaxGap.
+func (r *Source) GeometricLn(lnQ float64) int64 {
+	if math.IsInf(lnQ, -1) || math.IsNaN(lnQ) {
+		return 0
+	}
+	if lnQ >= 0 {
+		return MaxGap
+	}
+	g := math.Log(1-r.Float64()) / lnQ
+	if g >= float64(MaxGap) {
+		return MaxGap
+	}
+	return int64(g)
+}
+
+// GeometricCappedLn is GeometricCapped with the denominator precomputed,
+// under the same lnQ contract as GeometricLn.
+func (r *Source) GeometricCappedLn(lnQ float64, limit int64) int64 {
+	if g := r.GeometricLn(lnQ); g < limit {
+		return g
+	}
+	return limit
+}
+
 // Coin returns a uniform value in [1, sides], mirroring the pseudocode's
 // coin ← rnd(1, k) draws. It panics if sides <= 0.
 func (r *Source) Coin(sides int) int {

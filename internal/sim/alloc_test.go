@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"multicast/internal/adversary"
@@ -9,44 +10,48 @@ import (
 	"multicast/internal/protocol"
 )
 
-// TestSlotLoopAllocFree pins the steady-state allocation rate of both
-// slot loops at zero on a recycled Executor. The workload never halts
-// (full-spectrum jamming with a budget that outlasts MaxSlots), so two
-// runs differing only in MaxSlots isolate the per-slot cost: the
-// per-trial allocations (algorithm instance, nodes, rng forks, the
-// ErrMaxSlots wrap) are identical in both and cancel in the subtraction.
+// TestSlotLoopAllocFree pins the steady-state allocation rate of all
+// three slot loops at zero on a recycled Executor, at two node counts
+// (n=1024 exercises the buffer-growth paths the small case never
+// touches). The workload never halts (full-spectrum jamming with a
+// budget that outlasts MaxSlots), so two runs differing only in MaxSlots
+// isolate the per-slot cost: the per-trial allocations (algorithm
+// instance, nodes, the ErrMaxSlots wrap) are identical in both and
+// cancel in the subtraction.
 func TestSlotLoopAllocFree(t *testing.T) {
-	const n = 128
-	base := Config{
-		N: n,
-		Algorithm: func() (protocol.Algorithm, error) {
-			return core.NewMultiCast(core.Sim(), n)
-		},
-		Adversary: adversary.FullBurst(0),
-		Budget:    1 << 40, // Eve outlasts MaxSlots: nodes can never halt
-		Seed:      7,
-	}
-	const shortRun, longRun = int64(1) << 10, int64(5) << 10
-	for _, engine := range []Engine{EngineDense, EngineSparse} {
-		t.Run(engine.String(), func(t *testing.T) {
-			exec := NewExecutor()
-			run := func(maxSlots int64) {
-				cfg := base
-				cfg.Engine = engine
-				cfg.MaxSlots = maxSlots
-				if _, err := exec.Run(cfg); !errors.Is(err, ErrMaxSlots) {
-					t.Fatalf("want ErrMaxSlots, got %v", err)
+	for _, n := range []int{128, 1024} {
+		n := n
+		base := Config{
+			N: n,
+			Algorithm: func() (protocol.Algorithm, error) {
+				return core.NewMultiCast(core.Sim(), n)
+			},
+			Adversary: adversary.FullBurst(0),
+			Budget:    1 << 40, // Eve outlasts MaxSlots: nodes can never halt
+			Seed:      7,
+		}
+		const shortRun, longRun = int64(1) << 10, int64(5) << 10
+		for _, engine := range []Engine{EngineDense, EngineSparse, EngineEvent} {
+			t.Run(fmt.Sprintf("%v/n%d", engine, n), func(t *testing.T) {
+				exec := NewExecutor()
+				run := func(maxSlots int64) {
+					cfg := base
+					cfg.Engine = engine
+					cfg.MaxSlots = maxSlots
+					if _, err := exec.Run(cfg); !errors.Is(err, ErrMaxSlots) {
+						t.Fatalf("want ErrMaxSlots, got %v", err)
+					}
 				}
-			}
-			run(longRun) // grow every pooled buffer past its steady-state size
-			shortAllocs := testing.AllocsPerRun(3, func() { run(shortRun) })
-			longAllocs := testing.AllocsPerRun(3, func() { run(longRun) })
-			perSlot := (longAllocs - shortAllocs) / float64(longRun-shortRun)
-			if perSlot > 0.001 {
-				t.Errorf("slot loop allocates: %.4f allocs/slot (short run %.1f, long run %.1f)",
-					perSlot, shortAllocs, longAllocs)
-			}
-		})
+				run(longRun) // grow every pooled buffer past its steady-state size
+				shortAllocs := testing.AllocsPerRun(3, func() { run(shortRun) })
+				longAllocs := testing.AllocsPerRun(3, func() { run(longRun) })
+				perSlot := (longAllocs - shortAllocs) / float64(longRun-shortRun)
+				if perSlot > 0.001 {
+					t.Errorf("slot loop allocates: %.4f allocs/slot (short run %.1f, long run %.1f)",
+						perSlot, shortAllocs, longAllocs)
+				}
+			})
+		}
 	}
 }
 
@@ -70,10 +75,11 @@ func TestExecutorRecycleMatchesRun(t *testing.T) {
 	}
 	cfgs := []Config{
 		mkCfg(64, EngineSparse, 1, 1),
-		mkCfg(16, EngineDense, 4, 2),  // shrink + parallel pool on
-		mkCfg(64, EngineSparse, 1, 3), // grow back + pool off
+		mkCfg(16, EngineDense, 4, 2), // shrink + parallel pool on
+		mkCfg(64, EngineEvent, 1, 3), // grow back + pool off, lean step
 		mkCfg(32, EngineAuto, 3, 4),
-		mkCfg(32, EngineDense, 1, 5),
+		mkCfg(32, EngineEvent, 2, 5), // event + pool: full stepSlot path
+		mkCfg(32, EngineDense, 1, 6),
 	}
 	exec := NewExecutor()
 	for i, cfg := range cfgs {

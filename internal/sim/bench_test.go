@@ -6,6 +6,7 @@ import (
 	"multicast/internal/adversary"
 	"multicast/internal/core"
 	"multicast/internal/protocol"
+	"multicast/internal/rng"
 )
 
 // BenchmarkSlotLoop measures the engine's per-node-slot cost with an
@@ -91,6 +92,7 @@ func benchmarkRun(b *testing.B, engine Engine, nodeWorkers int) {
 
 func BenchmarkRunDense(b *testing.B)  { benchmarkRun(b, EngineDense, 1) }
 func BenchmarkRunSparse(b *testing.B) { benchmarkRun(b, EngineSparse, 1) }
+func BenchmarkRunEvent(b *testing.B)  { benchmarkRun(b, EngineEvent, 1) }
 
 // BenchmarkRunDenseParallel exercises the NodeWorkers fan-out on the
 // dense loop, where every slot steps all n nodes (the sparse loop's
@@ -99,3 +101,80 @@ func BenchmarkRunDenseParallel(b *testing.B) { benchmarkRun(b, EngineDense, 4) }
 
 // Trial-level parallel scaling is benchmarked in multicast/internal/runner,
 // which owns the worker pool.
+
+// BenchmarkWakeStructures compares the two wake calendars — the sparse
+// engine's 64-slot wakeRing and the event engine's 4096-slot
+// eventWheel — on the operation mix the engines actually run: push n
+// wakes at geometric gaps, then repeatedly find-next/advance/pop. The
+// density axis is the per-node wake probability per slot; the Auto
+// heuristic's event-vs-sparse crossover (eventAutoGap) is justified by
+// where the wheel's wins stop mattering relative to total slot cost.
+func BenchmarkWakeStructures(b *testing.B) {
+	const n = 128
+	densities := []struct {
+		name string
+		p    float64
+	}{
+		{"p=1e-4", 1e-4},
+		{"p=1e-2", 1e-2},
+		{"p=0.5", 0.5},
+	}
+	// Pre-draw a pool of gaps so the RNG cost stays out of the measurement.
+	for _, d := range densities {
+		r := rng.New(41)
+		gaps := make([]int64, 1<<14)
+		for i := range gaps {
+			gaps[i] = 1 + r.Geometric(d.p)
+		}
+		b.Run("ring/"+d.name, func(b *testing.B) {
+			w := newWakeRing(n)
+			var buf []int
+			gi := 0
+			nextGap := func() int64 { g := gaps[gi&(len(gaps)-1)]; gi++; return g }
+			cur := int64(0)
+			for id := 0; id < n; id++ {
+				w.push(cur+nextGap(), int32(id))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.advance(cur)
+				next, ok := w.nextWakeSlot(cur)
+				if !ok {
+					b.Fatal("ring drained")
+				}
+				cur = next
+				w.advance(cur)
+				buf = w.popSlot(cur, buf[:0])
+				for _, id := range buf {
+					w.push(cur+nextGap(), int32(id))
+				}
+				cur++
+			}
+		})
+		b.Run("wheel/"+d.name, func(b *testing.B) {
+			w := newEventWheel(n)
+			var buf []int
+			gi := 0
+			nextGap := func() int64 { g := gaps[gi&(len(gaps)-1)]; gi++; return g }
+			cur := int64(0)
+			for id := 0; id < n; id++ {
+				w.push(cur+nextGap(), int32(id))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.advance(cur)
+				next, ok := w.nextWakeSlot(cur)
+				if !ok {
+					b.Fatal("wheel drained")
+				}
+				cur = next
+				w.advance(cur)
+				buf = w.popSlot(cur, buf[:0])
+				for _, id := range buf {
+					w.push(cur+nextGap(), int32(id))
+				}
+				cur++
+			}
+		})
+	}
+}

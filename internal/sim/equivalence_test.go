@@ -42,13 +42,13 @@ func noRangeFactory(width int) adversary.Factory {
 }
 
 // TestEngineEquivalenceMatrix is the dense-equivalence oracle for the
-// sparse engine: for every algorithm family × adversary class × (N, T)
-// point × seed, a sparse run must produce Metrics byte-identical to the
-// dense reference run (and fail identically if it fails). The adversary
-// axis covers nil, closed-form oblivious, randomised oblivious (whose
-// SpendRange must keep the jam stream aligned), a strategy without
-// SpendRange (per-slot fallback), and adaptive (which disables range
-// skipping entirely).
+// sparse and event engines: for every algorithm family × adversary class
+// × (N, T) point × seed, a sparse run and an event run must each produce
+// Metrics byte-identical to the dense reference run (and fail
+// identically if they fail). The adversary axis covers nil, closed-form
+// oblivious, randomised oblivious (whose SpendRange must keep the jam
+// stream aligned), a strategy without SpendRange (per-slot fallback),
+// and adaptive (which disables range skipping entirely).
 func TestEngineEquivalenceMatrix(t *testing.T) {
 	params := core.Sim()
 	type algCase struct {
@@ -133,14 +133,16 @@ func TestEngineEquivalenceMatrix(t *testing.T) {
 						}
 						cfg.Engine = EngineDense
 						want, errD := Run(cfg)
-						cfg.Engine = EngineSparse
-						got, errS := Run(cfg)
-						if (errD == nil) != (errS == nil) ||
-							errors.Is(errD, ErrMaxSlots) != errors.Is(errS, ErrMaxSlots) {
-							t.Fatalf("seed %d: error mismatch: dense %v, sparse %v", seed, errD, errS)
-						}
-						if got != want {
-							t.Fatalf("seed %d: engines diverge\n dense  %+v\n sparse %+v", seed, want, got)
+						for _, challenger := range []Engine{EngineSparse, EngineEvent} {
+							cfg.Engine = challenger
+							got, errC := Run(cfg)
+							if (errD == nil) != (errC == nil) ||
+								errors.Is(errD, ErrMaxSlots) != errors.Is(errC, ErrMaxSlots) {
+								t.Fatalf("seed %d: error mismatch: dense %v, %v %v", seed, errD, challenger, errC)
+							}
+							if got != want {
+								t.Fatalf("seed %d: engines diverge\n dense %+v\n %v %+v", seed, want, challenger, got)
+							}
 						}
 					}
 				})
@@ -180,9 +182,9 @@ func TestEngineAutoMatchesDense(t *testing.T) {
 	}
 }
 
-// TestEngineSparseWithObserver: an Observer forces the sparse engine to
-// resolve every slot; the per-slot callbacks and the metrics must both
-// match the dense run exactly.
+// TestEngineSparseWithObserver: an Observer forces the sparse and event
+// engines to resolve every slot; the per-slot callbacks and the metrics
+// must both match the dense run exactly.
 func TestEngineSparseWithObserver(t *testing.T) {
 	type slotRec struct {
 		slot                                                   int64
@@ -209,16 +211,18 @@ func TestEngineSparseWithObserver(t *testing.T) {
 		return recs, m
 	}
 	denseRecs, denseM := record(EngineDense)
-	sparseRecs, sparseM := record(EngineSparse)
-	if sparseM != denseM {
-		t.Fatalf("metrics diverge:\n dense  %+v\n sparse %+v", denseM, sparseM)
-	}
-	if len(denseRecs) != len(sparseRecs) {
-		t.Fatalf("observer saw %d slots dense, %d sparse", len(denseRecs), len(sparseRecs))
-	}
-	for i := range denseRecs {
-		if denseRecs[i] != sparseRecs[i] {
-			t.Fatalf("slot %d: observer records diverge:\n dense  %+v\n sparse %+v", i, denseRecs[i], sparseRecs[i])
+	for _, challenger := range []Engine{EngineSparse, EngineEvent} {
+		recs, m := record(challenger)
+		if m != denseM {
+			t.Fatalf("metrics diverge:\n dense %+v\n %v %+v", denseM, challenger, m)
+		}
+		if len(denseRecs) != len(recs) {
+			t.Fatalf("observer saw %d slots dense, %d %v", len(denseRecs), len(recs), challenger)
+		}
+		for i := range denseRecs {
+			if denseRecs[i] != recs[i] {
+				t.Fatalf("slot %d: observer records diverge:\n dense %+v\n %v %+v", i, denseRecs[i], challenger, recs[i])
+			}
 		}
 	}
 }
@@ -258,13 +262,18 @@ func TestEngineMaxSlotsEquivalence(t *testing.T) {
 	}
 	cfg.Engine = EngineDense
 	want, errD := Run(cfg)
-	cfg.Engine = EngineSparse
-	got, errS := Run(cfg)
-	if !errors.Is(errD, ErrMaxSlots) || !errors.Is(errS, ErrMaxSlots) {
-		t.Fatalf("expected ErrMaxSlots from both, got dense %v, sparse %v", errD, errS)
+	if !errors.Is(errD, ErrMaxSlots) {
+		t.Fatalf("expected ErrMaxSlots from dense, got %v", errD)
 	}
-	if got != want {
-		t.Fatalf("truncated metrics diverge:\n dense  %+v\n sparse %+v", want, got)
+	for _, challenger := range []Engine{EngineSparse, EngineEvent} {
+		cfg.Engine = challenger
+		got, errC := Run(cfg)
+		if !errors.Is(errC, ErrMaxSlots) {
+			t.Fatalf("expected ErrMaxSlots from %v, got %v", challenger, errC)
+		}
+		if got != want {
+			t.Fatalf("truncated metrics diverge:\n dense %+v\n %v %+v", want, challenger, got)
+		}
 	}
 }
 

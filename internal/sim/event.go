@@ -1,0 +1,739 @@
+// Event slot engine: the global event-calendar loop. The sparse engine
+// (sparse.go) already skips idle slot ranges, but its wake list is a
+// 64-slot ring — schedules whose gaps regularly exceed the window push
+// half their wakes through the overflow heap, and every executed slot
+// still pays the full radio.Network slot protocol. The event engine
+// replaces both costs:
+//
+//   - wakes live in a 4096-slot calendar (eventWheel) with a two-level
+//     occupancy bitmap, so the next network event — the minimum over the
+//     next node wake, the adversary's budget horizon, channel-span
+//     boundaries, and the MaxSlots valve — is found with two or three
+//     word scans, and the overflow heap (the existing wakeHeap) only
+//     sees astronomically rare gaps ≥ 4096;
+//   - slots are resolved by a lean step (stepSlotLean) that collects the
+//     few awake nodes' actions, resolves each listener's channel against
+//     the slot's broadcasts and jam mask directly, and bypasses the
+//     network's BeginSlot/EndSlot machinery — energy metering still
+//     lands in radio.Network's meters, and Eve's per-slot accounting is
+//     reproduced call for call (adversary.RangeSpender covers the
+//     no-listener slots where only her spend is observable).
+//
+// The skipped ranges charge Eve exactly as the sparse engine does
+// (skipRange/chargeRange). Executions are bit-identical to the dense
+// engine for every configuration; TestEngineEquivalenceMatrix and
+// FuzzEngineEquivalence pin that down with the event engine as a third
+// column.
+
+package sim
+
+import (
+	"math/bits"
+
+	"multicast/internal/adversary"
+	"multicast/internal/protocol"
+	"multicast/internal/radio"
+)
+
+// wheelWindow is the calendar's span: one bucket per slot of the next
+// wheelWindow slots. At the lowest per-node rate the engines target
+// (p ~ 2⁻¹⁴ in MultiCast's late iterations), P(gap > 4096) is still
+// only moderate, and migration through the overflow heap stays correct
+// for any gap — the window just bounds how often it is exercised.
+const (
+	wheelWindow = 4096
+	wheelGroups = wheelWindow / 64
+)
+
+// eventWheel is a two-tier calendar queue over wake slots, the event
+// engine's counterpart of wakeRing. Near-future wakes (slot ∈ [base,
+// base+4096)) live in per-slot buckets addressed by slot&4095; buckets
+// are intrusive chains threaded through next (each node has at most one
+// pending wake). Occupancy is a two-level bitmap — group[g] holds one
+// bit per bucket of group g, summary one bit per non-empty group — so
+// the next occupied bucket after any position is found with at most
+// three TrailingZeros scans. Far-future wakes wait in a wakeHeap and
+// migrate in as the window advances.
+type eventWheel struct {
+	base     int64   // buckets cover slots [base, base+wheelWindow)
+	head     []int32 // [wheelWindow] chain head per bucket, -1 when empty
+	next     []int32 // next[id]: chain link, indexed by node id
+	group    [wheelGroups]uint64
+	summary  uint64
+	overflow wakeHeap
+	size     int // pending wakes, both tiers
+
+	idbits []uint64 // popSlot id bitmap: one bit per id, zero between pops
+	bucket []int32  // popSlot chain-collection scratch (sorter fallback)
+	sorter runSorter
+}
+
+func newEventWheel(capacity int) *eventWheel {
+	w := &eventWheel{
+		head:   make([]int32, wheelWindow),
+		next:   make([]int32, capacity),
+		idbits: make([]uint64, (capacity+63)/64+1),
+	}
+	for i := range w.head {
+		w.head[i] = -1
+	}
+	return w
+}
+
+// reset empties the wheel for a new trial, keeping every allocation.
+// Only occupied buckets are cleared — the bitmap remembers them — so the
+// per-trial cost is proportional to the pending wakes, not the window.
+func (w *eventWheel) reset() {
+	for s := w.summary; s != 0; s &= s - 1 {
+		g := bits.TrailingZeros64(s)
+		for m := w.group[g]; m != 0; m &= m - 1 {
+			w.head[g*64+bits.TrailingZeros64(m)] = -1
+		}
+		w.group[g] = 0
+	}
+	w.summary = 0
+	w.base = 0
+	w.overflow = w.overflow[:0]
+	w.size = 0
+}
+
+// growNext ensures the chain-link array (and the id bitmap) covers id.
+// The grow body lives in growNextSlow so this guard — and with it link
+// and push — stays within the inliner's budget on the hot path.
+func (w *eventWheel) growNext(id int32) {
+	if int(id) < len(w.next) {
+		return
+	}
+	w.growNextSlow(id)
+}
+
+func (w *eventWheel) growNextSlow(id int32) {
+	n := 2 * len(w.next)
+	if n <= int(id) {
+		n = int(id) + 1
+	}
+	next := make([]int32, n)
+	copy(next, w.next)
+	w.next = next
+	idbits := make([]uint64, (n+63)/64+1)
+	copy(idbits, w.idbits)
+	w.idbits = idbits
+}
+
+// link threads id onto the bucket chain for an in-window slot.
+func (w *eventWheel) link(slot int64, id int32) {
+	b := int(slot & (wheelWindow - 1))
+	w.growNext(id)
+	w.next[id] = w.head[b]
+	w.head[b] = id
+	w.group[b>>6] |= 1 << (b & 63)
+	w.summary |= 1 << (b >> 6)
+}
+
+// push schedules id to wake at slot: in-window slots thread onto their
+// bucket chain (link's body, spelled out so the hot re-push loop pays
+// one call instead of two), later ones spill to the overflow heap.
+func (w *eventWheel) push(slot int64, id int32) {
+	w.size++
+	if slot >= w.base+wheelWindow {
+		w.overflow.push(wakeEntry{slot: slot, id: id})
+		return
+	}
+	b := int(slot & (wheelWindow - 1))
+	w.growNext(id)
+	w.next[id] = w.head[b]
+	w.head[b] = id
+	w.group[b>>6] |= 1 << (b & 63)
+	w.summary |= 1 << (b >> 6)
+}
+
+// advance moves the window start to cur and migrates overflow entries
+// that now fit. Buckets for slots < cur are necessarily empty (they were
+// popped, or never filled), so reusing them for the new window is safe.
+// The migration loop is split out so the guard inlines at call sites.
+func (w *eventWheel) advance(cur int64) {
+	w.base = cur
+	if len(w.overflow) != 0 && w.overflow[0].slot < cur+wheelWindow {
+		w.migrateOverflow(cur)
+	}
+}
+
+func (w *eventWheel) migrateOverflow(cur int64) {
+	for len(w.overflow) > 0 && w.overflow[0].slot < cur+wheelWindow {
+		e := w.overflow.popMin()
+		w.link(e.slot, e.id)
+	}
+}
+
+// popNext finds the earliest scheduled wake ≥ cur, drains its bucket
+// into dst (ascending id order), and returns the wake slot with the
+// extended slice. One call replaces the advance → nextWakeSlot →
+// popSlot sequence, so the hot loop pays a single call and a single
+// window scan per executed slot. Returns ok=false when no wake is
+// pending anywhere.
+func (w *eventWheel) popNext(cur int64, dst []int) (int64, []int, bool) {
+	if w.size == 0 {
+		return 0, dst, false
+	}
+	w.base = cur
+	if len(w.overflow) != 0 && w.overflow[0].slot < cur+wheelWindow {
+		w.migrateOverflow(cur)
+	}
+	if w.summary == 0 {
+		// Every pending wake sits in the overflow heap, beyond the
+		// window: jump the window to the heap's head, which migrates at
+		// least that entry into a bucket.
+		w.advance(w.overflow[0].slot)
+		cur = w.base
+	}
+	// The occupancy scan is nextWakeSlot's, spelled out inline (summary
+	// is known non-zero here, and the call is on the per-slot hot path).
+	p := int(cur & (wheelWindow - 1))
+	pg, pb := p>>6, p&63
+	var slot int64
+	if rem := w.group[pg] >> pb; rem != 0 {
+		slot = cur + int64(bits.TrailingZeros64(rem))
+	} else if rot := bits.RotateLeft64(w.summary, -pg) &^ 1; rot != 0 {
+		dg := bits.TrailingZeros64(rot)
+		g := (pg + dg) & (wheelGroups - 1)
+		slot = cur + int64(dg*64-pb+bits.TrailingZeros64(w.group[g]))
+	} else {
+		low := w.group[pg] & (1<<pb - 1)
+		slot = cur + int64(wheelWindow-pb+bits.TrailingZeros64(low))
+	}
+	return slot, w.popSlot(slot, dst), true
+}
+
+// nextWakeSlot returns the earliest scheduled wake ≥ cur. The caller
+// must have advanced the window to cur first; every bucket entry then
+// lies in [cur, cur+wheelWindow) and every overflow entry at or beyond
+// the window end, so any bucket hit precedes the overflow head. Returns
+// false when empty.
+func (w *eventWheel) nextWakeSlot(cur int64) (int64, bool) {
+	if w.size == 0 {
+		return 0, false
+	}
+	if w.summary != 0 {
+		p := int(cur & (wheelWindow - 1))
+		pg, pb := p>>6, p&63
+		// Same group, at or after the position bit.
+		if rem := w.group[pg] >> pb; rem != 0 {
+			return cur + int64(bits.TrailingZeros64(rem)), true
+		}
+		// Later groups in rotated (wrapping) order, excluding pg itself.
+		if rot := bits.RotateLeft64(w.summary, -pg) &^ 1; rot != 0 {
+			dg := bits.TrailingZeros64(rot)
+			g := (pg + dg) & (wheelGroups - 1)
+			b := bits.TrailingZeros64(w.group[g])
+			return cur + int64(dg*64-pb+b), true
+		}
+		// Only pg is occupied and only below the position bit: the wake
+		// is one full window wrap ahead.
+		low := w.group[pg] & (1<<pb - 1)
+		return cur + int64(wheelWindow-pb+bits.TrailingZeros64(low)), true
+	}
+	return w.overflow[0].slot, true
+}
+
+// popSlot appends (in ascending id order) the ids waking exactly at cur
+// and returns the extended slice. The caller must have advanced the
+// window to cur, so the bucket holds exactly the slot-cur entries.
+func (w *eventWheel) popSlot(cur int64, dst []int) []int {
+	b := int(cur & (wheelWindow - 1))
+	h := w.head[b]
+	if h < 0 {
+		return dst
+	}
+	n1 := w.next[h]
+	if n1 < 0 {
+		// Single wake — the dominant bucket shape at sparse densities;
+		// skip chain collection and sorting entirely.
+		dst = append(dst, int(h))
+		w.size--
+		w.clearBucket(b)
+		return dst
+	}
+	if w.next[n1] < 0 {
+		// Two wakes: order them with one compare.
+		lo, hi := h, n1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		dst = append(dst, int(lo), int(hi))
+		w.size -= 2
+		w.clearBucket(b)
+		return dst
+	}
+	// Three or more wakes: mark each id in the bitmap and read the words
+	// back — the ids come out ascending with no sort at all, at a cost
+	// proportional to the chain plus the id-word span it covers.
+	idb := w.idbits
+	if len(idb) <= 16 {
+		// Small id space (n ≤ ~1000): the whole bitmap is a cache line
+		// or two, so scan every word and skip the span bookkeeping the
+		// big-n path pays per chain element.
+		k := 0
+		for id := h; id >= 0; id = w.next[id] {
+			idb[int(id)>>6] |= 1 << (uint(id) & 63)
+			k++
+		}
+		for wd := range idb {
+			for word := idb[wd]; word != 0; word &= word - 1 {
+				dst = append(dst, wd<<6|bits.TrailingZeros64(word))
+			}
+			idb[wd] = 0
+		}
+		w.size -= k
+		w.clearBucket(b)
+		return dst
+	}
+	lo, hi := len(idb), -1
+	k := 0
+	for id := h; id >= 0; id = w.next[id] {
+		wd := int(id) >> 6
+		idb[wd] |= 1 << (uint(id) & 63)
+		if wd < lo {
+			lo = wd
+		}
+		if wd > hi {
+			hi = wd
+		}
+		k++
+	}
+	if hi-lo > 4*k+8 {
+		// A handful of ids scattered across a huge id space: the word
+		// scan would dominate. Unmark them (the chain is untouched) and
+		// let the run-merge sorter handle the bucket instead.
+		for id := h; id >= 0; id = w.next[id] {
+			idb[int(id)>>6] = 0
+		}
+		return w.popSlotSorted(b, h, k, dst)
+	}
+	for wd := lo; wd <= hi; wd++ {
+		for word := idb[wd]; word != 0; word &= word - 1 {
+			dst = append(dst, wd<<6|bits.TrailingZeros64(word))
+		}
+		idb[wd] = 0
+	}
+	w.size -= k
+	w.clearBucket(b)
+	return dst
+}
+
+// popSlotSorted drains bucket b (chain head h, k entries) through the
+// run-merge sorter: the chain is LIFO, so reversing it restores push
+// order — a concatenation of ascending runs, the sorter's best shape.
+func (w *eventWheel) popSlotSorted(b int, h int32, k int, dst []int) []int {
+	ids := w.bucket[:0]
+	for id := h; id >= 0; id = w.next[id] {
+		ids = append(ids, id)
+	}
+	for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	w.bucket = ids
+	w.sorter.sort(ids)
+	for _, id := range ids {
+		dst = append(dst, int(id))
+	}
+	w.size -= k
+	w.clearBucket(b)
+	return dst
+}
+
+// clearBucket empties bucket b and drops its occupancy bits.
+func (w *eventWheel) clearBucket(b int) {
+	w.head[b] = -1
+	g := b >> 6
+	w.group[g] &^= 1 << (b & 63)
+	if w.group[g] == 0 {
+		w.summary &^= 1 << g
+	}
+}
+
+// pendingListen is one Phase 1 listen action buffered by the lean step:
+// the listener's id and the channel it tuned to.
+type pendingListen struct {
+	id, ch int32
+}
+
+// runEvent is the event-calendar slot loop. Its control flow mirrors
+// runSparse exactly — advance, find the next event, bulk-skip the gap,
+// execute the wake slot, reschedule — so every adversary call and node
+// call happens in the same order; the differences are the calendar
+// (eventWheel for wakeRing) and the lean slot step.
+func (ex *execution) runEvent() (Metrics, error) {
+	maxSlots := ex.maxSlots()
+	// Same degradations as the sparse engine: an adaptive Eve or an
+	// Observer forces every slot to resolve.
+	skipOK := ex.adaptive == nil && ex.cfg.Observer == nil
+	// The lean step resolves channels without the radio slot protocol;
+	// it cannot drive the NodeWorkers pool (and the conditions above
+	// already exclude per-slot observers), so those runs keep the full
+	// stepSlot. Either way the results are bit-identical.
+	lean := skipOK && ex.pool == nil
+	if lean {
+		// The lean steps read each node's pre-slot status from this
+		// mirror — maintained on every transition — instead of paying a
+		// Status interface call per node per slot. Status is a pure
+		// observer, so skipping redundant calls cannot perturb the run.
+		for _, id := range ex.active {
+			ex.prevStatus[id] = ex.nodes[id].Status()
+		}
+	}
+
+	if ex.wheel == nil {
+		ex.wheel = newEventWheel(ex.cfg.N)
+	} else {
+		ex.wheel.reset()
+	}
+	wheel := ex.wheel
+	for _, id := range ex.active {
+		wheel.push(ex.firstWakes[id], int32(id))
+	}
+	if cap(ex.awake) < ex.cfg.N {
+		ex.awake = make([]int, 0, ex.cfg.N)
+	}
+	awake := ex.awake[:0]
+
+	// Channel span cached for the lean step; refreshed when cur crosses
+	// the span boundary (the third event source in the calendar's
+	// min — constant-channel algorithms never refresh).
+	spanChannels, spanUntil := 0, int64(0)
+
+	cur := int64(0)
+	poll := 0
+	for {
+		if poll--; poll <= 0 {
+			poll = interruptStride
+			if ex.interrupted() {
+				ex.fillMetrics(cur)
+				return ex.metrics, ErrInterrupted
+			}
+		}
+		wheel.advance(cur)
+		next, ok := wheel.nextWakeSlot(cur)
+		if !ok {
+			next = maxSlots
+		}
+		if next > cur {
+			if skipOK {
+				to := next
+				if to > maxSlots {
+					to = maxSlots
+				}
+				ex.skipRange(cur, to)
+				cur = to
+			} else {
+				for cur < next && cur < maxSlots {
+					if cur&(interruptStride-1) == 0 && ex.interrupted() {
+						ex.fillMetrics(cur)
+						return ex.metrics, ErrInterrupted
+					}
+					ex.stepSlot(cur, nil, false)
+					cur++
+				}
+			}
+		}
+		if cur >= maxSlots {
+			ex.fillMetrics(cur)
+			return ex.metrics, ex.errMaxSlots(cur)
+		}
+		wheel.advance(cur)
+		awake = wheel.popSlot(cur, awake[:0])
+
+		if lean {
+			if cur >= spanUntil {
+				spanChannels, spanUntil = ex.channelSpan(cur)
+			}
+			ex.stepSlotLean(cur, awake, spanChannels)
+		} else {
+			ex.stepSlot(cur, awake, false)
+		}
+		// Pending wakes always belong to non-halted nodes (a node stops
+		// being re-pushed the slot it halts), so when the slot recorded
+		// no transitions every awake node is still live — skip the
+		// per-id Status query. The nextWake logic is spelled out inline:
+		// the wrapper call costs a measurable share of the re-push loop.
+		if len(ex.transitions) == 0 {
+			for _, id := range awake {
+				at := cur + 1
+				if sl := ex.sleepers[id]; sl != nil {
+					if ww := sl.NextActive(at); ww > at {
+						at = ww
+					}
+				}
+				wheel.push(at, int32(id))
+			}
+		} else {
+			for _, id := range awake {
+				if ex.nodes[id].Status() != protocol.Halted {
+					at := cur + 1
+					if sl := ex.sleepers[id]; sl != nil {
+						if ww := sl.NextActive(at); ww > at {
+							at = ww
+						}
+					}
+					wheel.push(at, int32(id))
+				}
+			}
+		}
+		if ex.haltedCount == ex.cfg.N {
+			ex.fillMetrics(cur + 1)
+			return ex.metrics, nil
+		}
+		cur++
+	}
+}
+
+// stepSlotLean advances one slot without the radio.Network slot
+// protocol, for the common event-engine slot where a handful of nodes
+// act and nobody else can observe the difference. It reproduces
+// stepSlot's observable behaviour exactly:
+//
+//   - node calls (Step, Deliver, EndSlot) happen in the same ascending
+//     id order with the same inputs, so node RNG streams are untouched;
+//   - Eve's per-slot accounting is identical — when listeners exist her
+//     mask is materialised and truncated exactly as in stepSlot, and
+//     when none do, only her spend is observable, which
+//     adversary.RangeSpender yields for the single-slot range with
+//     bit-identical strategy state (the same contract chargeRange
+//     relies on for whole skipped ranges);
+//   - channel resolution replays radio.Listen's rules (jam → Noise,
+//     0/1/≥2 broadcasters → Silence/Message/Noise, first broadcast's
+//     payload wins) against the slot's collected broadcasts;
+//   - energy lands in the network's meters (NodeEnergies/ChargeEve).
+//
+// Collecting node actions before drawing Eve's jam set is a legal
+// reordering: her stream is an independent fork, and obliviousness means
+// the mask cannot depend on the actions — the coupling happens entirely
+// in the listen resolution.
+func (ex *execution) stepSlotLean(slot int64, ids []int, channels int) {
+	if len(ids) == 1 {
+		ex.stepSlotLean1(slot, ids[0], channels)
+		return
+	}
+	// Phase 1: collect actions; broadcasts buffer instead of registering.
+	// Node statuses come from the ex.prevStatus mirror (seeded by runEvent,
+	// maintained on every transition below) instead of per-node Status
+	// calls, and energy lands in the network's meter slice directly — the
+	// same meters ChargeNode feeds, minus the call.
+	energy := ex.net.NodeEnergies()
+	listens := ex.listens[:0]
+	bcasts := ex.bcasts[:0]
+	for _, id := range ids {
+		nd := ex.nodes[id]
+		act := nd.Step(slot)
+		switch act.Kind {
+		case protocol.Broadcast:
+			bcasts = append(bcasts, pendingBroadcast{id: id, ch: act.Channel, payload: act.Payload})
+			energy[id]++
+		case protocol.Listen:
+			listens = append(listens, pendingListen{id: int32(id), ch: int32(act.Channel)})
+			energy[id]++
+		}
+	}
+	ex.listens, ex.bcasts = listens, bcasts
+
+	// Eve: same budget arithmetic as stepSlot. With listeners present
+	// the jam set is observable; a PrefixJammer answers it in closed
+	// form (truncating a prefix to the budget keeps it a prefix),
+	// otherwise it is materialised and truncated exactly as in stepSlot.
+	// With no listeners, only its size matters.
+	jamPrefix := 0   // channels [0, jamPrefix) jammed, via PrefixJammer
+	maskJam := false // jam mask materialised in ex.mask
+	if ex.remaining > 0 {
+		if len(listens) > 0 {
+			if pj := ex.prefix; pj != nil {
+				k := pj.JamPrefix(slot, channels)
+				if int64(k) > ex.remaining {
+					k = int(ex.remaining)
+				}
+				ex.remaining -= int64(k)
+				ex.net.ChargeEve(int64(k))
+				jamPrefix = k
+			} else {
+				ex.mask.Grow(channels)
+				jamCount := ex.adv.Fill(slot, channels, ex.mask)
+				if int64(jamCount) > ex.remaining {
+					jamCount = adversary.Truncate(ex.mask, channels, jamCount, int(ex.remaining))
+				}
+				ex.remaining -= int64(jamCount)
+				ex.net.ChargeEve(int64(jamCount))
+				maskJam = jamCount > 0
+			}
+		} else if rs := ex.ranged; rs != nil {
+			spend := rs.SpendRange(slot, slot+1, channels)
+			if spend > ex.remaining {
+				spend = ex.remaining
+			}
+			ex.remaining -= spend
+			ex.net.ChargeEve(spend)
+		} else {
+			ex.mask.Grow(channels)
+			count := ex.adv.Fill(slot, channels, ex.mask)
+			if count > 0 {
+				ex.mask.Reset()
+			}
+			spend := int64(count)
+			if spend > ex.remaining {
+				spend = ex.remaining
+			}
+			ex.remaining -= spend
+			ex.net.ChargeEve(spend)
+		}
+	}
+
+	// Phase 2: resolve each listener's channel. Broadcast registration
+	// order is ascending id, so the first matching buffer entry carries
+	// the payload radio.Listen would deliver.
+	for _, ln := range listens {
+		ch := int(ln.ch)
+		var fb radio.Feedback
+		if ch < jamPrefix || (maskJam && ex.mask.Test(ch)) {
+			fb = radio.Feedback{Status: radio.Noise}
+		} else if len(bcasts) == 0 {
+			fb = radio.Feedback{Status: radio.Silence}
+		} else {
+			count := 0
+			var payload radio.Payload
+			for _, bc := range bcasts {
+				if bc.ch == ch {
+					if count == 0 {
+						payload = bc.payload
+					}
+					count++
+				}
+			}
+			switch {
+			case count == 0:
+				fb = radio.Feedback{Status: radio.Silence}
+			case count == 1:
+				fb = radio.Feedback{Status: radio.Message, Payload: payload}
+			default:
+				fb = radio.Feedback{Status: radio.Noise}
+			}
+		}
+		ex.nodes[ln.id].Deliver(fb)
+	}
+	if maskJam {
+		ex.mask.Reset()
+	}
+
+	// Phase 3: end-of-slot bookkeeping and status transitions, exactly
+	// as stepSlot records them.
+	ex.transitions = ex.transitions[:0]
+	for _, id := range ids {
+		nd := ex.nodes[id]
+		nd.EndSlot(slot)
+		after := nd.Status()
+		if before := ex.prevStatus[id]; after != before {
+			ex.prevStatus[id] = after
+			ex.transitions = append(ex.transitions, transition{id: id, before: before, after: after})
+		}
+	}
+	for _, tr := range ex.transitions {
+		if tr.before == protocol.Uninformed && ex.nodes[tr.id].Informed() {
+			ex.informedCount++
+		}
+	}
+	if ex.informedCount == ex.cfg.N && ex.metrics.AllInformedSlot < 0 {
+		ex.metrics.AllInformedSlot = slot + 1
+	}
+	for _, tr := range ex.transitions {
+		ex.noteTransition(tr, slot)
+	}
+}
+
+// stepSlotLean1 is stepSlotLean for exactly one awake node — the
+// dominant slot shape at sparse densities. A lone node cannot collide
+// with or hear anyone, so its Listen resolves to noise iff Eve jams its
+// channel and silence otherwise; the phase structure and every external
+// call (Step, Fill/SpendRange, Deliver, EndSlot, energy charges) are the
+// same as the general path's.
+func (ex *execution) stepSlotLean1(slot int64, id int, channels int) {
+	nd := ex.nodes[id]
+	before := ex.prevStatus[id]
+	act := nd.Step(slot)
+	listen := act.Kind == protocol.Listen
+	if act.Kind != protocol.Idle {
+		ex.net.NodeEnergies()[id]++
+	}
+
+	if ex.remaining > 0 {
+		if listen {
+			if pj := ex.prefix; pj != nil {
+				k := pj.JamPrefix(slot, channels)
+				if int64(k) > ex.remaining {
+					k = int(ex.remaining)
+				}
+				ex.remaining -= int64(k)
+				ex.net.ChargeEve(int64(k))
+				if act.Channel < k {
+					nd.Deliver(radio.Feedback{Status: radio.Noise})
+				} else {
+					nd.Deliver(radio.Feedback{Status: radio.Silence})
+				}
+			} else {
+				ex.mask.Grow(channels)
+				jamCount := ex.adv.Fill(slot, channels, ex.mask)
+				if int64(jamCount) > ex.remaining {
+					jamCount = adversary.Truncate(ex.mask, channels, jamCount, int(ex.remaining))
+				}
+				ex.remaining -= int64(jamCount)
+				ex.net.ChargeEve(int64(jamCount))
+				if jamCount > 0 {
+					if ex.mask.Test(act.Channel) {
+						nd.Deliver(radio.Feedback{Status: radio.Noise})
+					} else {
+						nd.Deliver(radio.Feedback{Status: radio.Silence})
+					}
+					ex.mask.Reset()
+				} else {
+					nd.Deliver(radio.Feedback{Status: radio.Silence})
+				}
+			}
+		} else if rs := ex.ranged; rs != nil {
+			spend := rs.SpendRange(slot, slot+1, channels)
+			if spend > ex.remaining {
+				spend = ex.remaining
+			}
+			ex.remaining -= spend
+			ex.net.ChargeEve(spend)
+		} else {
+			ex.mask.Grow(channels)
+			count := ex.adv.Fill(slot, channels, ex.mask)
+			if count > 0 {
+				ex.mask.Reset()
+			}
+			spend := int64(count)
+			if spend > ex.remaining {
+				spend = ex.remaining
+			}
+			ex.remaining -= spend
+			ex.net.ChargeEve(spend)
+		}
+	} else if listen {
+		nd.Deliver(radio.Feedback{Status: radio.Silence})
+	}
+
+	nd.EndSlot(slot)
+	after := nd.Status()
+	if after != before {
+		ex.prevStatus[id] = after
+		// The transitions buffer is maintained even for this one-node
+		// slot: runEvent's re-push loop reads it to detect halts.
+		ex.transitions = append(ex.transitions[:0], transition{id: id, before: before, after: after})
+		if before == protocol.Uninformed && nd.Informed() {
+			ex.informedCount++
+		}
+	} else {
+		ex.transitions = ex.transitions[:0]
+	}
+	if ex.informedCount == ex.cfg.N && ex.metrics.AllInformedSlot < 0 {
+		ex.metrics.AllInformedSlot = slot + 1
+	}
+	if after != before {
+		ex.noteTransition(transition{id: id, before: before, after: after}, slot)
+	}
+}

@@ -78,15 +78,19 @@ func FuzzEngineEquivalence(f *testing.F) {
 		}
 		cfg.Engine = EngineDense
 		want, errD := Run(cfg)
-		// Alternate the challenger between the explicit sparse engine and
-		// Auto (which may resolve to either) — both must match dense. The
-		// challenger also steps nodes on 1–4 parallel workers (derived
-		// from existing inputs so the corpus keeps its signature); the
-		// serial dense reference stays the oracle.
-		if engSel%2 == 0 {
+		// Rotate the challenger between the explicit sparse engine, Auto
+		// (which may resolve to any engine), and the event engine — all
+		// must match dense. The challenger also steps nodes on 1–4
+		// parallel workers (derived from existing inputs so the corpus
+		// keeps its signature); the serial dense reference stays the
+		// oracle.
+		switch engSel % 3 {
+		case 0:
 			cfg.Engine = EngineSparse
-		} else {
+		case 1:
 			cfg.Engine = EngineAuto
+		default:
+			cfg.Engine = EngineEvent
 		}
 		cfg.NodeWorkers = 1 + int(seed>>8)%4
 		got, errS := Run(cfg)

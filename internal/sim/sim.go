@@ -4,16 +4,19 @@
 // paper's safety invariants, and collects the metrics the experiments
 // report.
 //
-// Two slot-loop implementations exist (Config.Engine): the dense
-// reference loop steps every non-halted node every slot, while the sparse
+// Three slot-loop implementations exist (Config.Engine): the dense
+// reference loop steps every non-halted node every slot; the sparse
 // fast path (sparse.go) uses the protocol.Sleeper contract to skip slots
-// in which no node acts, charging Eve for skipped jamming in aggregate.
-// Node randomness follows the gap-draw discipline (see protocol.Sleeper):
-// each node pre-draws the geometric gap to its next action, so idle slots
-// consume no RNG in either engine — the dense loop makes the identical
-// gap draws through the shared node code, which is what keeps the two
-// engines bit-identical by construction. Both produce bit-identical
-// Metrics; the dense loop is retained as the equivalence oracle.
+// in which no node acts, charging Eve for skipped jamming in aggregate;
+// and the event engine (event.go) replaces the 64-slot wake ring with a
+// global event calendar and resolves low-contention slots without the
+// radio bookkeeping. Node randomness follows the gap-draw discipline
+// (see protocol.Sleeper): each node pre-draws the geometric gap to its
+// next action, so idle slots consume no RNG in any engine — the dense
+// loop makes the identical gap draws through the shared node code, which
+// is what keeps the engines bit-identical by construction. All three
+// produce bit-identical Metrics; the dense loop is retained as the
+// equivalence oracle.
 //
 // One goroutine drives one execution; statistical replication (parallel
 // seeded trials, sharding, streaming sinks) is the job of
@@ -39,13 +42,15 @@ import (
 type Engine uint8
 
 const (
-	// EngineAuto (the zero value) picks Sparse when every node implements
-	// protocol.Sleeper, the adversary is oblivious, and no Observer is
-	// attached; it falls back to Dense otherwise.
+	// EngineAuto (the zero value) picks a skip-capable engine when every
+	// node implements protocol.Sleeper, the adversary is oblivious, and no
+	// Observer is attached — Event when the schedule is low-density (mean
+	// first-wake gap ≥ eventAutoGap), Sparse otherwise — and falls back to
+	// Dense when those conditions fail.
 	EngineAuto Engine = iota
 	// EngineDense is the reference implementation: every non-halted node
 	// is stepped in every slot. It is retained as the equivalence oracle
-	// for the sparse fast path.
+	// for the fast paths.
 	EngineDense
 	// EngineSparse runs the wake-list fast path: nodes that declare their
 	// next non-idle slot via protocol.Sleeper are skipped in bulk, and
@@ -54,17 +59,25 @@ const (
 	// adaptive adversaries and Observers disable range skipping (every
 	// slot still resolves) but idle nodes are still not stepped.
 	EngineSparse
+	// EngineEvent runs the global event-calendar loop (event.go): wakes
+	// live in a 4096-slot calendar keyed by the next network event, and
+	// slots with no contention for the engine's bookkeeping resolve
+	// through a lean step that bypasses the radio.Network slot machinery
+	// (energy metering still lands in the network's meters). Executions
+	// are bit-identical to EngineDense; the same degradations as
+	// EngineSparse apply to adaptive adversaries and Observers.
+	EngineEvent
 )
 
 // ParseEngine resolves an engine name ("auto", "dense", "sparse",
-// case-insensitive) to an Engine.
+// "event", case-insensitive) to an Engine.
 func ParseEngine(s string) (Engine, error) {
-	for _, e := range []Engine{EngineAuto, EngineDense, EngineSparse} {
+	for _, e := range []Engine{EngineAuto, EngineDense, EngineSparse, EngineEvent} {
 		if strings.EqualFold(s, e.String()) {
 			return e, nil
 		}
 	}
-	return EngineAuto, fmt.Errorf("sim: unknown engine %q (have auto, dense, sparse)", s)
+	return EngineAuto, fmt.Errorf("sim: unknown engine %q (have auto, dense, sparse, event)", s)
 }
 
 // String returns the engine name.
@@ -76,6 +89,8 @@ func (e Engine) String() string {
 		return "dense"
 	case EngineSparse:
 		return "sparse"
+	case EngineEvent:
+		return "event"
 	default:
 		return fmt.Sprintf("Engine(%d)", uint8(e))
 	}
@@ -258,9 +273,12 @@ type execution struct {
 	cfg      Config
 	alg      protocol.Algorithm
 	nodes    []protocol.Node
+	sleepers []protocol.Sleeper // per-node Sleeper view, nil where unimplemented
 	adv      adversary.Strategy
-	adaptive adversary.Adaptive   // non-nil iff adv is adaptive (§8 extension)
-	activity []adversary.Activity // reusable observation buffer
+	adaptive adversary.Adaptive     // non-nil iff adv is adaptive (§8 extension)
+	ranged   adversary.RangeSpender // non-nil iff adv supports closed-form range spends
+	prefix   adversary.PrefixJammer // non-nil iff adv jams deterministic channel prefixes
+	activity []adversary.Activity   // reusable observation buffer
 
 	spanner     protocol.ChannelSpanner // non-nil iff alg exposes channel spans
 	allSleepers bool                    // every node implements protocol.Sleeper
@@ -276,7 +294,18 @@ type execution struct {
 	transitions []transition
 
 	ring  *wakeRing // sparse engine's wake list, recycled across trials
-	awake []int     // sparse engine's per-slot wake buffer
+	awake []int     // sparse/event engines' per-slot wake buffer
+
+	wheel      *eventWheel        // event engine's calendar, recycled across trials
+	firstWakes []int64            // one-shot NextActive(0) results, indexed by id
+	haveWakes  bool               // firstWakes is valid for this trial
+	bcasts     []pendingBroadcast // lean step's broadcast buffer
+	listens    []pendingListen    // lean step's listener buffer
+
+	// forkBuf is the scratch stream handed to NewNode: seeding it in
+	// place is state-identical to root.Fork() without the allocation
+	// (nodes copy the Source value per the protocol contract).
+	forkBuf rng.Source
 
 	pool      *nodePool // non-nil while a NodeWorkers > 1 run is in flight
 	poolCache *nodePool // retired pool kept so its buffers recycle across trials
@@ -302,7 +331,7 @@ func (ex *execution) reset(cfg Config) error {
 	if cfg.Budget < 0 {
 		return fmt.Errorf("sim: negative budget %d", cfg.Budget)
 	}
-	if cfg.Engine > EngineSparse {
+	if cfg.Engine > EngineEvent {
 		return fmt.Errorf("sim: unknown engine %v", cfg.Engine)
 	}
 	if cfg.NodeWorkers < 0 {
@@ -332,16 +361,22 @@ func (ex *execution) reset(cfg Config) error {
 	ex.haltedCount = 0
 
 	ex.nodes = growSlice(ex.nodes, cfg.N)
+	ex.sleepers = growSlice(ex.sleepers, cfg.N)
 	ex.prevStatus = growSlice(ex.prevStatus, cfg.N)
 	ex.active = growSlice(ex.active, cfg.N)[:0]
 	ex.allSleepers = true
+	ex.haveWakes = false
 	for id := 0; id < cfg.N; id++ {
-		ex.nodes[id] = alg.NewNode(id, id == 0, root.Fork())
+		// Seeding the scratch stream from root's next draw is exactly
+		// root.Fork() without the allocation; NewNode copies the value.
+		ex.forkBuf.Seed(root.Uint64())
+		ex.nodes[id] = alg.NewNode(id, id == 0, &ex.forkBuf)
 		ex.active = append(ex.active, id)
 		if ex.nodes[id].Informed() {
 			ex.informedCount++
 		}
-		if _, ok := ex.nodes[id].(protocol.Sleeper); !ok {
+		ex.sleepers[id], _ = ex.nodes[id].(protocol.Sleeper)
+		if ex.sleepers[id] == nil {
 			ex.allSleepers = false
 		}
 	}
@@ -350,6 +385,8 @@ func (ex *execution) reset(cfg Config) error {
 	// (the §8 future-work extension) opt in via the Adaptive interface
 	// and receive per-slot channel observations.
 	ex.adaptive, _ = ex.adv.(adversary.Adaptive)
+	ex.ranged, _ = ex.adv.(adversary.RangeSpender)
+	ex.prefix, _ = ex.adv.(adversary.PrefixJammer)
 	if ex.net == nil {
 		ex.net = radio.NewNetwork(cfg.N, alg.Channels(0))
 	} else {
@@ -386,26 +423,79 @@ func (ex *execution) run() (Metrics, error) {
 		ex.startPool()
 		defer ex.stopPool()
 	}
-	if ex.resolveEngine() == EngineDense {
+	switch ex.resolveEngine() {
+	case EngineDense:
 		return ex.runDense()
+	case EngineEvent:
+		ex.collectFirstWakes()
+		return ex.runEvent()
+	default:
+		ex.collectFirstWakes()
+		return ex.runSparse()
 	}
-	return ex.runSparse()
 }
 
-// resolveEngine maps Auto to a concrete engine. Sparse is chosen when it
-// can actually skip: every node declares its wake slots, the adversary is
-// oblivious (an adaptive Eve observes every slot, forcing per-slot
-// stepping), and no Observer wants per-slot callbacks. An explicit Engine
-// choice is honoured as-is — EngineSparse degrades gracefully to per-slot
-// stepping where those conditions fail, and stays bit-identical.
+// eventAutoGap is the Auto heuristic's crossover: when the mean gap to
+// the nodes' first wakes is at least this many slots, the schedule is
+// low-density and the event calendar wins; below it the sparse ring's
+// smaller window is just as good and cheaper to reset.
+// BenchmarkWakeStructures measures both structures across densities
+// (see bench_test.go); the calendar's advantage appears once wake gaps
+// regularly overflow the sparse ring's 64-slot window, so the crossover
+// is set well below that scale to capture the gentle slopes too.
+const eventAutoGap = 4.0
+
+// resolveEngine maps Auto to a concrete engine. A skip-capable engine is
+// chosen when it can actually skip: every node declares its wake slots,
+// the adversary is oblivious (an adaptive Eve observes every slot,
+// forcing per-slot stepping), and no Observer wants per-slot callbacks.
+// Among the skip engines, Event is picked for low-density schedules
+// (mean first-wake gap ≥ eventAutoGap) and Sparse otherwise. An explicit
+// Engine choice is honoured as-is — the skip engines degrade gracefully
+// to per-slot stepping where those conditions fail, and stay
+// bit-identical.
 func (ex *execution) resolveEngine() Engine {
 	if ex.cfg.Engine != EngineAuto {
 		return ex.cfg.Engine
 	}
 	if ex.allSleepers && ex.adaptive == nil && ex.cfg.Observer == nil {
+		if ex.meanFirstGap() >= eventAutoGap {
+			return EngineEvent
+		}
 		return EngineSparse
 	}
 	return EngineDense
+}
+
+// collectFirstWakes captures every node's NextActive(0) exactly once per
+// trial. NextActive is not idempotent — absorbing an iteration boundary
+// redraws the gap — so the Auto heuristic and the engine's wake-list
+// seeding must share one collection pass.
+func (ex *execution) collectFirstWakes() {
+	if ex.haveWakes {
+		return
+	}
+	ex.firstWakes = growSlice(ex.firstWakes, ex.cfg.N)
+	for id := 0; id < ex.cfg.N; id++ {
+		ex.firstWakes[id] = ex.nextWake(id, 0)
+	}
+	ex.haveWakes = true
+}
+
+// meanFirstGap estimates the schedule's wake density from the first-wake
+// gaps, clamping each gap so the degenerate never-wakes sentinel
+// (rng.MaxGap) cannot overflow the sum.
+func (ex *execution) meanFirstGap() float64 {
+	ex.collectFirstWakes()
+	const clamp = int64(1) << 20
+	var sum int64
+	for _, w := range ex.firstWakes[:ex.cfg.N] {
+		if w > clamp {
+			w = clamp
+		}
+		sum += w
+	}
+	return float64(sum) / float64(ex.cfg.N)
 }
 
 func (ex *execution) maxSlots() int64 {

@@ -17,7 +17,6 @@ package sim
 import (
 	"math/bits"
 
-	"multicast/internal/adversary"
 	"multicast/internal/protocol"
 )
 
@@ -81,44 +80,79 @@ const ringWindow = 64
 // min-heap and migrate into the ring as the window advances. Same-slot
 // bucket contents are sorted before use, because stepSlot requires
 // ascending node order for bit-identical transition ordering.
+//
+// Buckets are intrusive singly-linked chains threaded through the next
+// array (each node has at most one pending wake, so one link per id
+// suffices). Compared to per-bucket slices, the chains occupy one fixed
+// allocation that never grows per trial — the former lazy bucket-slice
+// growth was the sparse engine's residual allocs/slot.
 type wakeRing struct {
 	base     int64 // buckets cover slots [base, base+ringWindow)
 	mask     uint64
-	buckets  [ringWindow][]int32
+	heads    [ringWindow]int32 // chain head per bucket, -1 when empty
+	next     []int32           // next[id]: chain link, indexed by node id
 	overflow wakeHeap
 	size     int
 
-	// Natural-merge scratch for popSlot: runs holds the start index of
-	// each ascending run, scratch the left side of an in-place merge.
-	// Both persist across slots (and, via the pooled execution, across
-	// trials), so sorting a steady-state bucket allocates nothing.
-	runs    []int32
-	scratch []int32
+	// bucket collects a drained chain before sorting; it and the
+	// sorter's scratch persist across slots (and, via the pooled
+	// execution, across trials), so sorting a steady-state bucket
+	// allocates nothing.
+	bucket []int32
+	sorter runSorter
 }
 
 func newWakeRing(capacity int) *wakeRing {
-	return &wakeRing{overflow: make(wakeHeap, 0, capacity)}
+	w := &wakeRing{
+		overflow: make(wakeHeap, 0, capacity),
+		next:     make([]int32, capacity),
+	}
+	for i := range w.heads {
+		w.heads[i] = -1
+	}
+	return w
 }
 
 // reset empties the ring for a new trial, keeping every allocation: the
-// bucket slices, the overflow heap's backing array, and the merge
+// chain-link array, the overflow heap's backing array, and the merge
 // scratch all retain their grown capacity.
 func (w *wakeRing) reset() {
 	w.base = 0
 	w.mask = 0
-	for i := range w.buckets {
-		w.buckets[i] = w.buckets[i][:0]
+	for i := range w.heads {
+		w.heads[i] = -1
 	}
 	w.overflow = w.overflow[:0]
 	w.size = 0
 }
 
+// growNext ensures the chain-link array covers id.
+func (w *wakeRing) growNext(id int32) {
+	if int(id) < len(w.next) {
+		return
+	}
+	n := 2 * len(w.next)
+	if n <= int(id) {
+		n = int(id) + 1
+	}
+	next := make([]int32, n)
+	copy(next, w.next)
+	w.next = next
+}
+
+// link threads id onto the bucket chain for an in-window slot.
+func (w *wakeRing) link(slot int64, id int32) {
+	b := int(slot & (ringWindow - 1))
+	w.growNext(id)
+	w.next[id] = w.heads[b]
+	w.heads[b] = id
+	w.mask |= 1 << b
+}
+
 func (w *wakeRing) push(slot int64, id int32) {
 	w.size++
 	if slot < w.base+ringWindow {
-		b := int(slot & (ringWindow - 1))
-		w.buckets[b] = append(w.buckets[b], id)
-		w.mask |= 1 << b
+		w.link(slot, id)
 		return
 	}
 	w.overflow.push(wakeEntry{slot: slot, id: id})
@@ -150,9 +184,7 @@ func (w *wakeRing) advance(cur int64) {
 	w.base = cur
 	for len(w.overflow) > 0 && w.overflow[0].slot < cur+ringWindow {
 		e := w.overflow.popMin()
-		b := int(e.slot & (ringWindow - 1))
-		w.buckets[b] = append(w.buckets[b], e.id)
-		w.mask |= 1 << b
+		w.link(e.slot, e.id)
 	}
 }
 
@@ -161,29 +193,54 @@ func (w *wakeRing) advance(cur int64) {
 // window to cur, so the bucket holds exactly the slot-cur entries.
 func (w *wakeRing) popSlot(cur int64, dst []int) []int {
 	b := int(cur & (ringWindow - 1))
-	ids := w.buckets[b]
-	if len(ids) == 0 {
+	h := w.heads[b]
+	if h < 0 {
 		return dst
 	}
-	w.sortBucket(ids)
+	if w.next[h] < 0 {
+		// Single wake — the dominant bucket shape at sparse densities;
+		// skip chain collection and sorting entirely.
+		dst = append(dst, int(h))
+		w.size--
+		w.heads[b] = -1
+		w.mask &^= 1 << b
+		return dst
+	}
+	ids := w.bucket[:0]
+	for id := h; id >= 0; id = w.next[id] {
+		ids = append(ids, id)
+	}
+	w.bucket = ids
+	// The chain is LIFO: reversing it restores push order, a
+	// concatenation of ascending runs — the shape sortBucket is built for.
+	for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	w.sorter.sort(ids)
 	for _, id := range ids {
 		dst = append(dst, int(id))
 	}
 	w.size -= len(ids)
-	w.buckets[b] = ids[:0]
+	w.heads[b] = -1
 	w.mask &^= 1 << b
 	return dst
 }
 
-// sortBucket sorts a bucket ascending by natural-run merging. Pushes from
-// one source slot arrive in ascending id order, so a bucket is a
-// concatenation of a few ascending runs (the old insertion sort exploited
-// the same structure but degraded to O(k²) when runs interleave, e.g.
-// after an overflow migration delivers heap entries in slot-major,
-// id-arbitrary order). Detecting the r runs costs O(k); merging adjacent
-// pairs bottom-up costs O(k log r) — worst case O(k log k) for k
-// descending singletons, linear for the common already-sorted bucket.
-func (w *wakeRing) sortBucket(ids []int32) {
+// runSorter sorts wake buckets ascending by natural-run merging, with
+// pooled scratch shared across slots and trials. Pushes from one source
+// slot arrive in ascending id order, so a bucket is a concatenation of a
+// few ascending runs (an insertion sort exploits the same structure but
+// degrades to O(k²) when runs interleave, e.g. after an overflow
+// migration delivers heap entries in slot-major, id-arbitrary order).
+// Detecting the r runs costs O(k); merging adjacent pairs bottom-up
+// costs O(k log r) — worst case O(k log k) for k descending singletons,
+// linear for the common already-sorted bucket.
+type runSorter struct {
+	runs    []int32 // start index of each ascending run
+	scratch []int32 // left side of an in-place merge
+}
+
+func (w *runSorter) sort(ids []int32) {
 	w.runs = w.runs[:0]
 	for i := 0; i < len(ids); i++ {
 		if i == 0 || ids[i] < ids[i-1] {
@@ -211,7 +268,7 @@ func (w *wakeRing) sortBucket(ids []int32) {
 
 // mergeRuns merges the adjacent ascending runs ids[lo:mid] and
 // ids[mid:hi] in place, buffering only the left run in w.scratch.
-func (w *wakeRing) mergeRuns(ids []int32, lo, mid, hi int) {
+func (w *runSorter) mergeRuns(ids []int32, lo, mid, hi int) {
 	if mid >= hi || lo >= mid || ids[mid] >= ids[mid-1] {
 		return // already in order
 	}
@@ -239,7 +296,7 @@ func (w *wakeRing) mergeRuns(ids []int32, lo, mid, hi int) {
 // a Sleeper implementation wake every slot, which degenerates gracefully
 // to dense stepping for them alone.
 func (ex *execution) nextWake(id int, now int64) int64 {
-	if sl, ok := ex.nodes[id].(protocol.Sleeper); ok {
+	if sl := ex.sleepers[id]; sl != nil {
 		if w := sl.NextActive(now); w >= now {
 			return w
 		}
@@ -266,7 +323,7 @@ func (ex *execution) runSparse() (Metrics, error) {
 	}
 	ring := ex.ring
 	for _, id := range ex.active {
-		ring.push(ex.nextWake(id, 0), int32(id))
+		ring.push(ex.firstWakes[id], int32(id))
 	}
 	if cap(ex.awake) < ex.cfg.N {
 		ex.awake = make([]int, 0, ex.cfg.N)
@@ -370,7 +427,7 @@ func (ex *execution) channelSpan(slot int64) (int, int64) {
 // without SpendRange fall back to per-slot Fill against a scratch mask,
 // reproducing the dense loop's accounting call for call.
 func (ex *execution) chargeRange(from, to int64, channels int) {
-	if rs, ok := ex.adv.(adversary.RangeSpender); ok {
+	if rs := ex.ranged; rs != nil {
 		spend := rs.SpendRange(from, to, channels)
 		if spend > ex.remaining {
 			spend = ex.remaining

@@ -155,9 +155,10 @@ func (a *Broadcast) ListenProb(i int) float64 {
 	return l
 }
 
-// NewNode implements protocol.Algorithm.
+// NewNode implements protocol.Algorithm. Per the protocol contract, the
+// node copies *r; the pointer is not retained.
 func (a *Broadcast) NewNode(id int, source bool, r *rng.Source) protocol.Node {
-	nd := &node{alg: a, r: r}
+	nd := &node{alg: a, r: *r}
 	if source {
 		nd.status = protocol.Informed
 		nd.knowsM = true
@@ -169,7 +170,7 @@ func (a *Broadcast) NewNode(id int, source bool, r *rng.Source) protocol.Node {
 // node is one node's baseline state machine.
 type node struct {
 	alg     *Broadcast
-	r       *rng.Source
+	r       rng.Source
 	status  protocol.Status
 	knowsM  bool
 	epoch   int

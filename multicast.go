@@ -46,9 +46,14 @@ const (
 	// EngineSparse skips slots in which no node acts. Bit-identical to
 	// EngineDense for every configuration.
 	EngineSparse = sim.EngineSparse
+	// EngineEvent jumps a global event calendar to the next slot in which
+	// any node acts, charging Eve for skipped ranges in closed form.
+	// Bit-identical to EngineDense for every configuration.
+	EngineEvent = sim.EngineEvent
 )
 
-// ParseEngine resolves an engine name ("auto", "dense", "sparse").
+// ParseEngine resolves an engine name ("auto", "dense", "sparse",
+// "event").
 func ParseEngine(s string) (Engine, error) { return sim.ParseEngine(s) }
 
 // ErrMaxSlots reports that an execution hit the MaxSlots safety valve.
