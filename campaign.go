@@ -47,6 +47,27 @@ const (
 	CampaignShardDiscard = driver.EventDiscard
 )
 
+// CampaignSchedule picks how a driven campaign's grid cells are
+// distributed over workers; checkpoints are schedule-agnostic, so a
+// campaign killed under one schedule resumes exactly under the other.
+type CampaignSchedule = driver.Schedule
+
+const (
+	// CampaignScheduleStatic (the default, also the zero value) pins
+	// shard i to the cells g ≡ i (mod k), one worker pool per shard.
+	CampaignScheduleStatic = driver.ScheduleStatic
+	// CampaignScheduleSteal runs one work-stealing pool over the whole
+	// grid: workers claim contiguous cell ranges and re-split the largest
+	// remaining range when one goes idle, so heterogeneous workers finish
+	// together. Results land in ascending grid order per shard, so the
+	// merged summary stays bit-identical to the static run's.
+	CampaignScheduleSteal = driver.ScheduleSteal
+)
+
+// ParseCampaignSchedule resolves a schedule name ("static", "steal";
+// empty means static) — the -drive-schedule CLI grammar.
+func ParseCampaignSchedule(s string) (CampaignSchedule, error) { return driver.ParseSchedule(s) }
+
 // ErrCorruptArtifact marks a campaign artifact whose bytes cannot be
 // trusted (truncated mid-JSON, failing its content checksum); test with
 // errors.Is. ErrCorruptCheckpoint is its sibling for checkpoint
@@ -92,9 +113,14 @@ type CampaignPlan struct {
 	// Trials is the trial count per point; trial t of point p runs with
 	// the point's seed + t (the runner's determinism contract).
 	Trials int
-	// Shards is k: shard i runs the grid cells g ≡ i (mod k). Zero
+	// Shards is k: shard i owns the grid cells g ≡ i (mod k). Zero
 	// means 1.
 	Shards int
+	// Schedule picks who computes those cells: CampaignScheduleStatic
+	// (default) runs each shard on its own worker pool;
+	// CampaignScheduleSteal runs one work-stealing pool over the whole
+	// grid. Artifacts are bit-identical either way.
+	Schedule CampaignSchedule
 	// Workers caps each shard worker's trial pool; 0 divides GOMAXPROCS
 	// evenly across shards.
 	Workers int
@@ -133,6 +159,7 @@ type CampaignPlan struct {
 func (p CampaignPlan) driverOptions() driver.Options {
 	o := driver.Options{
 		Shards:          max(p.Shards, 1),
+		Schedule:        p.Schedule,
 		Workers:         p.Workers,
 		Retries:         p.Retries,
 		Dir:             p.Dir,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -16,19 +17,21 @@ import (
 
 // driveFlags carries the -drive* flag values into the drive paths.
 type driveFlags struct {
-	shards      int
-	exec        bool
-	resume      bool
-	dir         string
-	workers     int
-	retries     int
-	ckptEvery   int
-	engine      multicast.Engine
-	nodeWorkers int
-	crashAfter  int
-	sumOut      string
-	chaos       *multicast.ChaosInjector
-	chaosLog    string
+	shards       int
+	exec         bool
+	resume       bool
+	schedule     multicast.CampaignSchedule
+	progressJSON string
+	dir          string
+	workers      int
+	retries      int
+	ckptEvery    int
+	engine       multicast.Engine
+	nodeWorkers  int
+	crashAfter   int
+	sumOut       string
+	chaos        *multicast.ChaosInjector
+	chaosLog     string
 }
 
 // campaignDir resolves the -campaign-dir default: next to the summary
@@ -44,12 +47,13 @@ func campaignDir(dir, sumOut string) string {
 }
 
 // plan translates the flags into the public campaign plan, wiring in
-// the progress printer, the chaos injector, and the legacy -crash-after
-// testing aid.
-func (f driveFlags) plan(trials int) multicast.CampaignPlan {
+// the given progress callback (see driveProgress), the chaos injector,
+// and the legacy -crash-after testing aid.
+func (f driveFlags) plan(trials int, progress func(multicast.CampaignEvent)) multicast.CampaignPlan {
 	return multicast.CampaignPlan{
 		Trials:          trials,
 		Shards:          f.shards,
+		Schedule:        f.schedule,
 		Workers:         f.workers,
 		Retries:         f.retries,
 		Dir:             f.dir,
@@ -57,9 +61,43 @@ func (f driveFlags) plan(trials int) multicast.CampaignPlan {
 		CheckpointEvery: f.ckptEvery,
 		Engine:          f.engine,
 		NodeWorkers:     f.nodeWorkers,
-		Progress:        progressPrinter(f.crashAfter),
+		Progress:        progress,
 		Chaos:           f.chaos,
 	}
+}
+
+// driveProgress builds the campaign's progress callback: the human
+// printer on stderr plus, with -progress-json, a JSON-lines encoder
+// (one compact object per event — the driver delivers events serially,
+// so no locking is needed here). It returns the callback, a close
+// func for the JSON sink, and the writer finishDrive must print the
+// human report to: stderr when "-" hands stdout to the event stream,
+// stdout otherwise.
+func driveProgress(f driveFlags) (cb func(multicast.CampaignEvent), closeSink func() error, report io.Writer, err error) {
+	human := progressPrinter(f.crashAfter)
+	closeSink = func() error { return nil }
+	report = os.Stdout
+	if f.progressJSON == "" {
+		return human, closeSink, report, nil
+	}
+	sink := io.Writer(os.Stdout)
+	if f.progressJSON == "-" {
+		report = os.Stderr // stdout is now a pure JSON-lines stream
+	} else {
+		file, err := os.Create(f.progressJSON)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sink, closeSink = file, file.Close
+	}
+	enc := json.NewEncoder(sink)
+	cb = func(ev multicast.CampaignEvent) {
+		human(ev)
+		if err := enc.Encode(ev); err != nil {
+			fmt.Fprintf(os.Stderr, "mcast: -progress-json: %v\n", err)
+		}
+	}
+	return cb, closeSink, report, nil
 }
 
 // progressPrinter renders per-shard progress lines to stderr (stdout
@@ -123,15 +161,15 @@ func writeChaosLog(f driveFlags) error {
 }
 
 // finishDrive prints and optionally persists the merged campaign
-// summary.
-func finishDrive(sum *multicast.Summary, sumOut string) error {
-	fmt.Printf("driven campaign complete: %s\n\n", indent(sum.Identity()))
-	printCampaign(sum)
+// summary; w is stdout unless -progress-json - claimed it.
+func finishDrive(sum *multicast.Summary, sumOut string, w io.Writer) error {
+	fmt.Fprintf(w, "driven campaign complete: %s\n\n", indent(sum.Identity()))
+	printCampaign(w, sum)
 	if sumOut != "" {
 		if err := sum.Write(sumOut); err != nil {
 			return err
 		}
-		fmt.Printf("merged summary written to %s\n", sumOut)
+		fmt.Fprintf(w, "merged summary written to %s\n", sumOut)
 	}
 	return nil
 }
@@ -143,14 +181,21 @@ func driveSingle(ctx context.Context, cfg multicast.Config, trials int, f driveF
 		tmpl := singleSummary(cfg, trials, nil)
 		return driveExecCampaign(ctx, tmpl, trials, f)
 	}
-	sum, err := multicast.RunCampaign(ctx, cfg, f.plan(trials))
+	progress, closeSink, report, err := driveProgress(f)
+	if err != nil {
+		return err
+	}
+	sum, err := multicast.RunCampaign(ctx, cfg, f.plan(trials, progress))
 	if lerr := writeChaosLog(f); lerr != nil && err == nil {
 		err = lerr
+	}
+	if cerr := closeSink(); cerr != nil && err == nil {
+		err = cerr
 	}
 	if err != nil {
 		return err
 	}
-	return finishDrive(sum, f.sumOut)
+	return finishDrive(sum, f.sumOut, report)
 }
 
 // driveScenario supervises a scenario-sweep campaign with k shard
@@ -168,14 +213,21 @@ func driveScenario(ctx context.Context, name string, opts multicast.ScenarioOpti
 		tmpl := sweepSummary(scen, opts, points, trials, nil)
 		return driveExecCampaign(ctx, tmpl, trials, f)
 	}
-	sum, err := multicast.RunScenarioCampaign(ctx, scen, opts, f.plan(trials))
+	progress, closeSink, report, err := driveProgress(f)
+	if err != nil {
+		return err
+	}
+	sum, err := multicast.RunScenarioCampaign(ctx, scen, opts, f.plan(trials, progress))
 	if lerr := writeChaosLog(f); lerr != nil && err == nil {
 		err = lerr
+	}
+	if cerr := closeSink(); cerr != nil && err == nil {
+		err = cerr
 	}
 	if err != nil {
 		return err
 	}
-	return finishDrive(sum, f.sumOut)
+	return finishDrive(sum, f.sumOut, report)
 }
 
 // driveExecCampaign drives the campaign with mcast subprocess workers:
@@ -199,12 +251,16 @@ func driveExecCampaign(ctx context.Context, tmpl *multicast.Summary, trials int,
 	if w, ok := childWorkers(flagWasSet("workers"), f.workers, f.shards, runtime.GOMAXPROCS(0)); ok {
 		base = append(base, fmt.Sprintf("-workers=%d", w))
 	}
+	progress, closeSink, report, err := driveProgress(f)
+	if err != nil {
+		return err
+	}
 	sum, err := driver.Run(ctx, driver.Spec{Template: tmpl, Trials: trials}, driver.Options{
 		Shards:   f.shards,
 		Retries:  f.retries,
 		Dir:      f.dir,
 		Resume:   f.resume,
-		Progress: progressPrinter(f.crashAfter),
+		Progress: progress,
 		Spawn: func(ctx context.Context, shard, shards int, artifact string) *exec.Cmd {
 			args := append(append([]string(nil), base...),
 				fmt.Sprintf("-shard=%d/%d", shard, shards),
@@ -215,10 +271,13 @@ func driveExecCampaign(ctx context.Context, tmpl *multicast.Summary, trials int,
 			return cmd
 		},
 	})
+	if cerr := closeSink(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
-	return finishDrive(sum, f.sumOut)
+	return finishDrive(sum, f.sumOut, report)
 }
 
 // workerArgs rebuilds the explicitly set command-line flags a shard
@@ -226,7 +285,8 @@ func driveExecCampaign(ctx context.Context, tmpl *multicast.Summary, trials int,
 // driver's own (the child is a plain `-shard i/k -summary-out …` run).
 func workerArgs() []string {
 	drop := map[string]bool{
-		"drive": true, "drive-exec": true, "resume": true, "campaign-dir": true,
+		"drive": true, "drive-exec": true, "drive-schedule": true, "progress-json": true,
+		"resume": true, "campaign-dir": true,
 		"retries": true, "crash-after": true, "summary-out": true, "shard": true,
 		"chaos-seed": true, "chaos-faults": true, "chaos-log": true,
 		"timeout": true, // the parent enforces the deadline and kills children

@@ -37,6 +37,16 @@
 //	# …killed mid-run? finish it:
 //	mcast -scenario duel -n 64 -trials 50000 -drive 3 -campaign-dir camp -resume -summary-out duel.json
 //
+// The cell scheduler is swappable: -drive-schedule steal replaces the
+// static per-shard worker pools with one work-stealing pool over the
+// whole grid (heterogeneous workers finish together; artifacts stay
+// byte-identical), and -progress-json streams every progress event as
+// one JSON object per line for orchestrators to parse ("-" puts the
+// stream on stdout and moves the human report to stderr):
+//
+//	mcast -scenario duel -trials 50000 -drive 3 -drive-schedule steal \
+//	  -campaign-dir camp -progress-json - > progress.jsonl
+//
 // Chaos drills inject seeded, reproducible faults into a driven
 // campaign and leave a diffable fault log; resuming without the chaos
 // flags recovers the campaign bit-identically:
@@ -58,6 +68,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -100,6 +111,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "abort the whole run after this long (e.g. 30m; interrupts in-flight executions cleanly)")
 		drive       = flag.Int("drive", 0, "drive the campaign with this many supervised shard workers (checkpointed; see -campaign-dir)")
 		driveExec   = flag.Bool("drive-exec", false, "with -drive: launch shard workers as mcast subprocesses instead of in-process")
+		driveSched  = flag.String("drive-schedule", "", "with -drive: grid-cell scheduling — static (default: shard i computes cells g = i mod k) or steal (one work-stealing pool over the whole grid; artifacts are bit-identical either way)")
+		progJSON    = flag.String("progress-json", "", "with -drive: also stream progress events as JSON lines to this path (\"-\" = stdout; the human report then moves to stderr)")
 		resume      = flag.Bool("resume", false, "with -drive: resume an interrupted campaign from -campaign-dir")
 		campDir     = flag.String("campaign-dir", "", "with -drive: directory for shard artifacts and checkpoints (default: <summary-out>.campaign or mcast-campaign)")
 		retries     = flag.Int("retries", 1, "with -drive: relaunches per failed shard before the campaign fails")
@@ -125,7 +138,8 @@ func main() {
 		fatal(fmt.Errorf("-drive %d: shard worker count must be positive", *drive))
 	}
 	if *drive == 0 {
-		for _, name := range []string{"drive-exec", "resume", "campaign-dir", "retries", "checkpoint-every",
+		for _, name := range []string{"drive-exec", "drive-schedule", "progress-json", "resume",
+			"campaign-dir", "retries", "checkpoint-every",
 			"crash-after", "chaos-seed", "chaos-faults", "chaos-log"} {
 			if setFlags[name] {
 				fatal(fmt.Errorf("-%s requires -drive", name))
@@ -151,6 +165,13 @@ func main() {
 		if *chaosFaults == "" && (setFlags["chaos-seed"] || setFlags["chaos-log"]) {
 			fatal(fmt.Errorf("-chaos-seed and -chaos-log require -chaos-faults (the fault schedule)"))
 		}
+	}
+	driveSchedule, err := multicast.ParseCampaignSchedule(*driveSched)
+	fatal(err)
+	if driveSchedule == multicast.CampaignScheduleSteal && *driveExec {
+		// Stealing streams per-cell results back into one fold stage;
+		// subprocess workers cannot.
+		fatal(fmt.Errorf("-drive-schedule steal needs in-process shard workers (drop -drive-exec)"))
 	}
 	var chaosInj *multicast.ChaosInjector
 	if *chaosFaults != "" {
@@ -190,7 +211,8 @@ func main() {
 			"scenario": true, "quick": true, "n": true, "budget": true, "seed": true,
 			"trials": true, "engine": true, "workers": true, "node-workers": true,
 			"shard": true, "summary-out": true,
-			"timeout": true, "drive": true, "drive-exec": true, "resume": true,
+			"timeout": true, "drive": true, "drive-exec": true, "drive-schedule": true,
+			"progress-json": true, "resume": true,
 			"campaign-dir": true, "retries": true, "checkpoint-every": true, "crash-after": true,
 			"chaos-seed": true, "chaos-faults": true, "chaos-log": true,
 		}
@@ -213,6 +235,7 @@ func main() {
 		if *drive > 0 {
 			fatal(deadline(driveScenario(ctx, *scenName, opts, *trials, driveFlags{
 				shards: *drive, exec: *driveExec, resume: *resume,
+				schedule: driveSchedule, progressJSON: *progJSON,
 				dir: campaignDir(*campDir, *sumOut), workers: *workers,
 				retries: *retries, ckptEvery: *ckptEvery, engine: engine,
 				nodeWorkers: *nodeWorkers,
@@ -294,13 +317,20 @@ func main() {
 	shard, err := parseShard(*shardStr)
 	fatal(err)
 
-	fmt.Printf("algorithm=%s n=%d channels=%d adversary=%s budget=%d seed=%d trials=%d\n\n",
+	// With -progress-json -, stdout is a pure JSON-lines stream; the
+	// human banner joins the report on stderr.
+	banner := io.Writer(os.Stdout)
+	if *progJSON == "-" {
+		banner = os.Stderr
+	}
+	fmt.Fprintf(banner, "algorithm=%s n=%d channels=%d adversary=%s budget=%d seed=%d trials=%d\n\n",
 		alg, *n, *channels, adv.Name(), *budget, *seed, *trials)
 
 	if *drive > 0 {
 		cfg.Observer = nil
 		fatal(deadline(driveSingle(ctx, cfg, *trials, driveFlags{
 			shards: *drive, exec: *driveExec, resume: *resume,
+			schedule: driveSchedule, progressJSON: *progJSON,
 			dir: campaignDir(*campDir, *sumOut), workers: *workers,
 			retries: *retries, ckptEvery: *ckptEvery, engine: engine,
 			nodeWorkers: *nodeWorkers,
@@ -322,7 +352,7 @@ func main() {
 		if shard.Count > 1 {
 			fmt.Printf("shard %d/%d: %d of %d trials\n\n", shard.Index, shard.Count, col.Trials(), *trials)
 		}
-		printSummaries(col)
+		printSummaries(os.Stdout, col)
 		if *sumOut != "" {
 			sum := singleSummary(cfg, *trials, col)
 			sum.ShardIndex, sum.ShardCount = shard.Index, max(shard.Count, 1)
@@ -376,7 +406,7 @@ func mergeCmd(paths []string, out string) error {
 		return err
 	}
 	fmt.Printf("merged %d shard file(s): %s\n\n", len(paths), indent(merged.Identity()))
-	printCampaign(merged)
+	printCampaign(os.Stdout, merged)
 	if out != "" {
 		if err := merged.Write(out); err != nil {
 			return err
@@ -387,25 +417,27 @@ func mergeCmd(paths []string, out string) error {
 }
 
 // printCampaign renders a campaign summary: one block for a
-// single-workload campaign, one block per point for a sweep.
-func printCampaign(s *multicast.Summary) {
+// single-workload campaign, one block per point for a sweep. The
+// writer is stdout except when -progress-json claims stdout for the
+// event stream.
+func printCampaign(w io.Writer, s *multicast.Summary) {
 	if s.Single() {
-		printSummaries(s.Points[0].Collector)
+		printSummaries(w, s.Points[0].Collector)
 		return
 	}
 	for _, p := range s.Points {
-		fmt.Printf("-- point %s (%s)\n", p.Label, p.Workload)
-		printSummaries(p.Collector)
-		fmt.Println()
+		fmt.Fprintf(w, "-- point %s (%s)\n", p.Label, p.Workload)
+		printSummaries(w, p.Collector)
+		fmt.Fprintln(w)
 	}
 }
 
 // printSummaries renders every headline metric at full float precision
 // (%v round-trips float64 exactly), so byte-equal output means
 // bit-identical summaries — the shard→merge CI smokes diff this text.
-func printSummaries(col *runner.Collector) {
+func printSummaries(w io.Writer, col *runner.Collector) {
 	line := func(name string, s stats.Summary) {
-		fmt.Printf("%-18s n=%d mean=%v std=%v min=%v p25=%v med=%v p75=%v p95=%v max=%v\n",
+		fmt.Fprintf(w, "%-18s n=%d mean=%v std=%v min=%v p25=%v med=%v p75=%v p95=%v max=%v\n",
 			name, s.Count, s.Mean, s.Std, s.Min, s.P25, s.Median, s.P75, s.P95, s.Max)
 	}
 	line("slots", col.Slots())
@@ -415,9 +447,9 @@ func printSummaries(col *runner.Collector) {
 	line("eve energy", col.EveEnergy())
 	line("all informed", col.AllInformed())
 	if inv := col.Invariants(); inv.Any() {
-		fmt.Printf("!! invariant violations: %+v\n", inv)
+		fmt.Fprintf(w, "!! invariant violations: %+v\n", inv)
 	} else {
-		fmt.Printf("safety invariants:  all hold (%d trials)\n", col.Trials())
+		fmt.Fprintf(w, "safety invariants:  all hold (%d trials)\n", col.Trials())
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"os"
 	"strings"
 
 	"multicast"
@@ -85,7 +86,7 @@ func runScenario(ctx context.Context, name string, opts multicast.ScenarioOption
 	}
 	sum := sweepSummary(scen, opts, points, trials, cols)
 	sum.ShardIndex, sum.ShardCount = shard.Index, max(shard.Count, 1)
-	printCampaign(sum)
+	printCampaign(os.Stdout, sum)
 	if sumOut != "" {
 		if err := sum.Write(sumOut); err != nil {
 			return err

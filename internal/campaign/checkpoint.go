@@ -29,6 +29,15 @@ type checkpointFile struct {
 	Checksum  string   `json:"checksum"`
 	DoneCells int      `json:"done_cells"`
 	Summary   *Summary `json:"summary"`
+	// Schedule names the scheduler that wrote the sidecar ("steal" for
+	// the driver's work-stealing pool; empty means the static mod-k
+	// layout). Additive — older sidecars decode with the field empty and
+	// their checksums still verify, so no schema bump. The field is
+	// informational: the lease a resumed worker needs is exactly the
+	// folded prefix DoneCells records, because both schedulers fold a
+	// shard's cells in ascending grid order — which is why a campaign
+	// interrupted under one schedule resumes exactly under the other.
+	Schedule string `json:"schedule,omitempty"`
 }
 
 // digest returns f's content checksum (hex sha256 of the compact
@@ -62,6 +71,12 @@ type Checkpointer struct {
 	// chaos harness's torn-flush seam. Set it before the first Add;
 	// production checkpointers leave it nil.
 	Fault FaultPoint
+
+	// Schedule, when non-empty, is stamped into every flushed sidecar
+	// (the additive schedule field) naming the scheduler driving this
+	// shard. Resume ignores the stored value — prefix semantics are
+	// schedule-agnostic — so set it for observability, not correctness.
+	Schedule string
 }
 
 // NewCheckpointer returns a checkpointer persisting to path, starting
@@ -162,6 +177,7 @@ func (c *Checkpointer) Flush() error {
 		SchemaVersion: SchemaVersion,
 		DoneCells:     c.done,
 		Summary:       c.sum,
+		Schedule:      c.Schedule,
 	}
 	sum, err := f.digest()
 	if err != nil {

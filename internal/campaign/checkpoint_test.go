@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -138,6 +139,78 @@ func TestCheckpointResumeRefusesMismatch(t *testing.T) {
 	// A missing checkpoint is a clean cold start, not an error.
 	if done, err := NewCheckpointer(filepath.Join(dir, "absent.ckpt"), tmpl(0, 2), 1).Resume(); err != nil || done != 0 {
 		t.Errorf("missing checkpoint: done=%d err=%v, want 0, nil", done, err)
+	}
+}
+
+// The schedule field is additive: a static checkpointer (Schedule
+// empty) writes a sidecar without the key at all, so pre-field sidecars
+// and their checksums are unchanged; a stamped sidecar round-trips and
+// resumes under either schedule, because the folded prefix is the lease
+// regardless of who computed it; and because the checksum covers the
+// field, tampering with it is refused as corrupt.
+func TestCheckpointScheduleField(t *testing.T) {
+	dir := t.TempDir()
+	tmpl := func() *Summary { return template(3).CloneEmpty() }
+
+	// Empty schedule: no "schedule" key in the encoding (omitempty), so
+	// the bytes — and therefore the checksum scheme — match what the
+	// field-free layout produced.
+	static := filepath.Join(dir, "static.ckpt")
+	if err := NewCheckpointer(static, tmpl(), 1).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "schedule") {
+		t.Errorf("static sidecar mentions schedule: %s", data)
+	}
+
+	// Stamped sidecar: field present, resume succeeds — including under
+	// the other schedule — and reports the folded prefix.
+	points := testPoints()
+	stolen := filepath.Join(dir, "steal.ckpt")
+	ck := NewCheckpointer(stolen, tmpl(), 1)
+	ck.Schedule = "steal"
+	err = runner.RunSweep(context.Background(), points, runner.SweepPlan{Trials: 3},
+		func(p, tr int, m sim.Metrics) error {
+			if err := ck.Add(p, tr, m); err != nil {
+				return err
+			}
+			if ck.Done() == 2 {
+				return fmt.Errorf("injected crash")
+			}
+			return nil
+		})
+	if err == nil {
+		t.Fatal("seeding run did not crash")
+	}
+	data, err = os.ReadFile(stolen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schedule":"steal"`) {
+		t.Errorf("stamped sidecar lacks the schedule field: %s", data)
+	}
+	for _, resumer := range []string{"", "steal"} {
+		rck := NewCheckpointer(stolen, tmpl(), 1)
+		rck.Schedule = resumer
+		if done, err := rck.Resume(); err != nil || done != 2 {
+			t.Errorf("resume as %q: done=%d err=%v, want 2, nil", resumer, done, err)
+		}
+	}
+
+	// Tampering with the field breaks the checksum.
+	tampered := strings.Replace(string(data), `"schedule":"steal"`, `"schedule":"static"`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper substitution did not apply")
+	}
+	if err := os.WriteFile(stolen, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCheckpointer(stolen, tmpl(), 1).Resume(); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("tampered schedule: err = %v, want ErrCorruptCheckpoint", err)
 	}
 }
 

@@ -19,6 +19,12 @@
 // fault points in internal/campaign (Fault, FaultPoint) and the hooks
 // in internal/driver (ChaosHooks), which this package glues together
 // via Injector.Hooks.
+//
+// The hooks are schedule-agnostic: under the driver's work-stealing
+// schedule the per-cell hooks fire on fold ordinals — the order cells
+// land in a shard's checkpoint, which is deterministic per shard — not
+// on the racy order workers happened to compute them, so a seeded plan
+// plays out identically under either Options.Schedule.
 package chaos
 
 import (

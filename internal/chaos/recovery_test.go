@@ -1,10 +1,12 @@
 package chaos
 
 // The headline chaos deliverables: TestChaosRecoveryMatrix pins, for
-// every fault class at k ∈ {1, 3}, that a resumed or retried campaign
-// merges byte-identically to the unsharded run and that replaying the
-// same schedule yields an identical fault event log; FuzzChaosSchedule
-// holds the same invariant under randomized seeded schedules.
+// every fault class at k ∈ {1, 3} under both the static and the
+// work-stealing schedule, that a resumed or retried campaign merges
+// byte-identically to the unsharded run and that replaying the same
+// schedule yields an identical fault event log; FuzzChaosSchedule
+// holds the same invariant under randomized seeded schedules, with the
+// driver schedule part of the corpus signature.
 
 import (
 	"bytes"
@@ -279,85 +281,96 @@ func TestChaosRecoveryMatrix(t *testing.T) {
 
 	for _, row := range rows {
 		for _, k := range []int{1, 3} {
-			t.Run(fmt.Sprintf("%s/k=%d", row.name, k), func(t *testing.T) {
-				shard := 0
-				if k > 1 {
-					shard = 1
-				}
-				plan := Plan{Seed: 7, Faults: row.faults(shard, k)}
-				run := func(dir string) (*campaign.Summary, []Event, error) {
-					inj, err := New(plan)
-					if err != nil {
-						t.Fatal(err)
+			// Every fault class must recover byte-identically under both
+			// schedules — and to the SAME clean bytes: the steal column
+			// reuses the static cleanDrivenBytes reference, so it also
+			// re-pins that stealing never changes a merged artifact.
+			for _, schedule := range []driver.Schedule{driver.ScheduleStatic, driver.ScheduleSteal} {
+				t.Run(fmt.Sprintf("%s/k=%d/%s", row.name, k, schedule), func(t *testing.T) {
+					shard := 0
+					if k > 1 {
+						shard = 1
 					}
-					ctx := context.Background()
-					if row.timeout > 0 {
-						var cancel context.CancelFunc
-						ctx, cancel = context.WithTimeout(ctx, row.timeout)
-						defer cancel()
+					plan := Plan{Seed: 7, Faults: row.faults(shard, k)}
+					run := func(dir string) (*campaign.Summary, []Event, error) {
+						inj, err := New(plan)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ctx := context.Background()
+						if row.timeout > 0 {
+							var cancel context.CancelFunc
+							ctx, cancel = context.WithTimeout(ctx, row.timeout)
+							defer cancel()
+						}
+						sum, err := driver.Run(ctx, testSpec(), driver.Options{
+							Shards: k, Workers: 2, Dir: dir, Retries: row.retries,
+							Schedule: schedule, Chaos: inj.Hooks(),
+						})
+						return sum, inj.Events(), err
 					}
-					sum, err := driver.Run(ctx, testSpec(), driver.Options{
-						Shards: k, Workers: 2, Dir: dir, Retries: row.retries,
-						Chaos: inj.Hooks(),
-					})
-					return sum, inj.Events(), err
-				}
 
-				dir := t.TempDir()
-				sum, ev1, err1 := run(dir)
-				// Replay the schedule in a fresh directory: the fault log —
-				// and the outcome — must be identical.
-				_, ev2, err2 := run(t.TempDir())
-				if !reflect.DeepEqual(ev1, ev2) {
-					t.Errorf("fault logs diverge between identical runs:\n 1: %+v\n 2: %+v", ev1, ev2)
-				}
-				if (err1 == nil) != (err2 == nil) {
-					t.Errorf("outcomes diverge between identical runs: %v vs %v", err1, err2)
-				}
-				wantEvents := 1
-				if row.name == "duplicate-shard" && k == 1 {
-					wantEvents = 0
-				}
-				if len(ev1) != wantEvents {
-					t.Errorf("%d fault events, want %d: %+v", len(ev1), wantEvents, ev1)
-				}
-				row.check(t, k, err1)
+					dir := t.TempDir()
+					sum, ev1, err1 := run(dir)
+					// Replay the schedule in a fresh directory: the fault log —
+					// and the outcome — must be identical.
+					_, ev2, err2 := run(t.TempDir())
+					if !reflect.DeepEqual(ev1, ev2) {
+						t.Errorf("fault logs diverge between identical runs:\n 1: %+v\n 2: %+v", ev1, ev2)
+					}
+					if (err1 == nil) != (err2 == nil) {
+						t.Errorf("outcomes diverge between identical runs: %v vs %v", err1, err2)
+					}
+					wantEvents := 1
+					if row.name == "duplicate-shard" && k == 1 {
+						wantEvents = 0
+					}
+					if len(ev1) != wantEvents {
+						t.Errorf("%d fault events, want %d: %+v", len(ev1), wantEvents, ev1)
+					}
+					row.check(t, k, err1)
 
-				if err1 != nil {
-					if row.drill != nil {
-						row.drill(t, dir, shard)
+					if err1 != nil {
+						if row.drill != nil {
+							row.drill(t, dir, shard)
+						}
+						var rerr error
+						sum, rerr = driver.Run(context.Background(), testSpec(), driver.Options{
+							Shards: k, Workers: 2, Dir: dir, Resume: true, Schedule: schedule,
+						})
+						if rerr != nil {
+							t.Fatalf("recovery resume: %v", rerr)
+						}
 					}
-					var rerr error
-					sum, rerr = driver.Run(context.Background(), testSpec(), driver.Options{
-						Shards: k, Workers: 2, Dir: dir, Resume: true,
-					})
-					if rerr != nil {
-						t.Fatalf("recovery resume: %v", rerr)
+					if got := summaryBytes(t, sum); !bytes.Equal(got, cleanDrivenBytes(t, k)) {
+						t.Errorf("recovered merged artifact is not byte-identical to a fault-free k=%d run (%d vs %d bytes)",
+							k, len(got), len(cleanDrivenBytes(t, k)))
 					}
-				}
-				if got := summaryBytes(t, sum); !bytes.Equal(got, cleanDrivenBytes(t, k)) {
-					t.Errorf("recovered merged artifact is not byte-identical to a fault-free k=%d run (%d vs %d bytes)",
-						k, len(got), len(cleanDrivenBytes(t, k)))
-				}
-				assertSameStats(t, sum, want)
-			})
+					assertSameStats(t, sum, want)
+				})
+			}
 		}
 	}
 }
 
 // FuzzChaosSchedule drives randomized seeded schedules (all fault kinds
-// except stall, which needs a deadline) through the campaign and holds
-// the matrix invariants: the fault log replays identically, and after
-// bounded recovery the merged summary is byte-identical to the
-// unsharded run.
+// except stall, which needs a deadline) through the campaign — under
+// either driver schedule, per the corpus — and holds the matrix
+// invariants: the fault log replays identically, and after bounded
+// recovery the merged summary is byte-identical to the unsharded run.
 func FuzzChaosSchedule(f *testing.F) {
-	f.Add(uint64(1), uint(3), uint(2))
-	f.Add(uint64(42), uint(1), uint(1))
-	f.Add(uint64(7), uint(2), uint(3))
-	f.Add(uint64(1234567), uint(3), uint(1))
-	f.Fuzz(func(t *testing.T, seed uint64, kIn, nIn uint) {
+	f.Add(uint64(1), uint(3), uint(2), false)
+	f.Add(uint64(42), uint(1), uint(1), true)
+	f.Add(uint64(7), uint(2), uint(3), false)
+	f.Add(uint64(1234567), uint(3), uint(1), true)
+	f.Add(uint64(99), uint(2), uint(2), true)
+	f.Fuzz(func(t *testing.T, seed uint64, kIn, nIn uint, steal bool) {
 		k := 1 + int(kIn%3)
 		nfaults := 1 + int(nIn%3)
+		schedule := driver.ScheduleStatic
+		if steal {
+			schedule = driver.ScheduleSteal
+		}
 		kinds := []Kind{KindCrash, KindTornFlush, KindCorruptCheckpoint,
 			KindTruncateArtifact, KindBitFlipArtifact, KindDuplicateShard}
 		src := rng.New(seed)
@@ -377,7 +390,8 @@ func FuzzChaosSchedule(f *testing.F) {
 				t.Fatal(err)
 			}
 			sum, err := driver.Run(context.Background(), spec, driver.Options{
-				Shards: k, Workers: 2, Dir: dir, Retries: 1, Chaos: inj.Hooks(),
+				Shards: k, Workers: 2, Dir: dir, Retries: 1,
+				Schedule: schedule, Chaos: inj.Hooks(),
 			})
 			log, lerr := inj.Log()
 			if lerr != nil {
@@ -404,7 +418,7 @@ func FuzzChaosSchedule(f *testing.F) {
 				}
 			}
 			sum, err = driver.Run(context.Background(), spec, driver.Options{
-				Shards: k, Workers: 2, Dir: dir, Resume: true,
+				Shards: k, Workers: 2, Dir: dir, Resume: true, Schedule: schedule,
 			})
 		}
 		if err != nil {

@@ -10,7 +10,9 @@
 // resumes every shard at its next undone grid cell) or as subprocesses
 // via Options.Spawn (each child writes its shard artifact itself; a
 // failed child is restarted from scratch, since its checkpoint state is
-// its own business). Either way the artifact directory is the only
+// its own business). Options.Schedule swaps the static per-shard pools
+// for one work-stealing pool over the whole grid (see steal.go) without
+// changing a byte of any artifact. Either way the artifact directory is the only
 // coordination medium, which is what makes a driven campaign
 // killable: re-running with Options.Resume skips shards whose
 // artifacts are complete, resumes checkpointed ones, and re-merges.
@@ -52,53 +54,24 @@ type Spec struct {
 	Trials int
 }
 
-// EventKind classifies a progress event.
-type EventKind string
-
-const (
-	// EventStart: a shard worker attempt begins (Done cells already
-	// checkpointed when resuming).
-	EventStart EventKind = "start"
-	// EventCell: a shard worker completed (and checkpointed) one grid
-	// cell.
-	EventCell EventKind = "cell"
-	// EventShardDone: a shard's artifact is complete on disk.
-	EventShardDone EventKind = "shard-done"
-	// EventRetry: a shard attempt failed and will be retried (resuming
-	// from its checkpoint when one exists).
-	EventRetry EventKind = "retry"
-	// EventDiscard: a shard artifact on disk was corrupt or misdelivered
-	// (wrong shard slot, same campaign) and has been deleted; the shard
-	// re-runs. Err carries the reason.
-	EventDiscard EventKind = "discard"
-)
-
 // ErrInjected marks a failure injected by the chaos harness (see
 // internal/chaos). The driver uses it to skip best-effort rescue work a
 // real crash could not have performed — e.g. the tail checkpoint flush
 // after a simulated process death.
 var ErrInjected = errors.New("injected chaos fault")
 
-// Event is one per-shard progress notification. Events are delivered
-// serially (never concurrently) but interleave across shards.
-type Event struct {
-	// Shard is the shard index, 0 ≤ Shard < Shards.
-	Shard int
-	// Kind classifies the event.
-	Kind EventKind
-	// Done and Total count this shard's grid cells (local, not global).
-	Done, Total int
-	// Attempt numbers the worker attempt, starting at 0.
-	Attempt int
-	// Err carries the failure on EventRetry.
-	Err error
-}
-
 // Options tune a driven campaign.
 type Options struct {
 	// Shards is k: the campaign grid is split into shards 0..k-1, one
 	// worker each. Minimum 1.
 	Shards int
+	// Schedule picks how grid cells are distributed over workers:
+	// ScheduleStatic (the default, also the zero value) pins shard i to
+	// the cells g ≡ i (mod k); ScheduleSteal runs one work-stealing pool
+	// over the whole grid. Either way the shard artifacts — and the
+	// merged summary — are bit-identical. Steal requires in-process
+	// workers (Spawn must be nil).
+	Schedule Schedule
 	// Workers caps each in-process shard worker's trial pool; 0 divides
 	// GOMAXPROCS evenly across shards (minimum 1 each).
 	Workers int
@@ -205,6 +178,14 @@ func Run(ctx context.Context, spec Spec, opts Options) (*campaign.Summary, error
 	if opts.Retries < 0 {
 		return nil, fmt.Errorf("driver: retries = %d must not be negative", opts.Retries)
 	}
+	sched, err := ParseSchedule(string(opts.Schedule))
+	if err != nil {
+		return nil, err
+	}
+	opts.Schedule = sched
+	if sched == ScheduleSteal && opts.Spawn != nil {
+		return nil, fmt.Errorf("driver: schedule %q needs in-process workers, not Spawn subprocesses", ScheduleSteal)
+	}
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("driver: campaign directory required (it is the resume state)")
 	}
@@ -234,37 +215,43 @@ func Run(ctx context.Context, spec Spec, opts Options) (*campaign.Summary, error
 		c.Begin(opts.Shards)
 	}
 
-	var wg sync.WaitGroup
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	errs := make([]error, opts.Shards)
-	for i := 0; i < opts.Shards; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := d.runShard(runCtx, i); err != nil {
-				errs[i] = err
-				if !keepGoing {
-					cancel() // first failure stops the fleet; checkpoints survive
+	if d.opts.Schedule == ScheduleSteal {
+		if err := d.driveSteal(ctx); err != nil {
+			return nil, err
+		}
+	} else {
+		var wg sync.WaitGroup
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		errs := make([]error, opts.Shards)
+		for i := 0; i < opts.Shards; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := d.runShard(runCtx, i); err != nil {
+					errs[i] = err
+					if !keepGoing {
+						cancel() // first failure stops the fleet; checkpoints survive
+					}
 				}
+			}()
+		}
+		wg.Wait()
+		// The lowest-index failing shard's error (deterministic), not a
+		// sibling's cancellation echo.
+		var firstErr error
+		for _, err := range errs {
+			if err != nil && !errors.Is(err, context.Canceled) {
+				firstErr = err
+				break
 			}
-		}()
-	}
-	wg.Wait()
-	// The lowest-index failing shard's error (deterministic), not a
-	// sibling's cancellation echo.
-	var firstErr error
-	for _, err := range errs {
-		if err != nil && !errors.Is(err, context.Canceled) {
-			firstErr = err
-			break
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
-		if err != nil && firstErr == nil {
-			firstErr = err
+		if firstErr != nil {
+			return nil, firstErr
 		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -298,6 +285,9 @@ type drive struct {
 func (d *drive) emit(ev Event) {
 	if d.opts.Progress == nil {
 		return
+	}
+	if ev.Err != nil {
+		ev.ErrText = ev.Err.Error()
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -1,0 +1,378 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"multicast/internal/campaign"
+	"multicast/internal/runner"
+	"multicast/internal/sim"
+)
+
+// The work-stealing schedule decouples who computes a grid cell from
+// where its result lands. One pool of Shards×Workers workers claims
+// cells from a lease scheduler over the whole flattened grid; a single
+// fold stage receives the computed metrics tagged with their global
+// index g and replays each shard's cells in ascending-g order into that
+// shard's campaign.Checkpointer. Folding in grid order is what keeps
+// the two standing contracts intact:
+//
+//   - the shard artifacts (and so the merged summary) are bit-identical
+//     to the static layout's, because each shard's accumulators see the
+//     exact insertion order runner.RunSweep delivers; and
+//   - every checkpoint still covers a prefix of its shard's slice, so a
+//     killed steal campaign resumes under either schedule — the lease a
+//     resumed worker needs is exactly the folded prefix the sidecar's
+//     DoneCells records.
+//
+// The pool is one retry unit (it is one process): a failed attempt
+// relaunches everything unfinished, resuming every shard from its
+// checkpoint, with EventRetry announced per unfinished shard.
+
+// lease is one worker's claim on a contiguous range of grid cells:
+// [next, end) remain to be computed.
+type lease struct{ next, end int }
+
+// stealScheduler hands out grid cells one at a time from per-worker
+// contiguous leases, re-splitting the largest remaining lease when a
+// worker runs dry. Cells are millisecond-scale simulations, so a single
+// mutex around claims is cheap compared to any cell.
+type stealScheduler struct {
+	mu     sync.Mutex
+	leases []lease
+}
+
+// newStealScheduler splits [0, total) into one contiguous lease per
+// worker. Workers beyond total start empty and immediately steal.
+func newStealScheduler(total, workers int) *stealScheduler {
+	s := &stealScheduler{leases: make([]lease, workers)}
+	for w := range s.leases {
+		s.leases[w] = lease{next: w * total / workers, end: (w + 1) * total / workers}
+	}
+	return s
+}
+
+// claim returns worker w's next cell. An idle worker steals the far
+// half of the largest remaining lease (the victim keeps the near half,
+// rounded up, preserving its locality); when no lease holds at least
+// two cells there is nothing worth stealing and the worker retires.
+func (s *stealScheduler) claim(w int) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.leases[w].next >= s.leases[w].end {
+		victim, best := -1, 1
+		for v := range s.leases {
+			if rem := s.leases[v].end - s.leases[v].next; rem > best {
+				victim, best = v, rem
+			}
+		}
+		if victim < 0 {
+			return 0, false
+		}
+		l := s.leases[victim]
+		mid := l.next + (l.end-l.next+1)/2
+		s.leases[victim].end = mid
+		s.leases[w] = lease{next: mid, end: l.end}
+	}
+	g := s.leases[w].next
+	s.leases[w].next++
+	return g, true
+}
+
+// cellResult is one computed cell in flight from the pool to the fold
+// stage.
+type cellResult struct {
+	g int
+	m sim.Metrics
+}
+
+// driveSteal supervises the whole steal-scheduled campaign: attempts
+// run the shared pool across every unfinished shard, and a failed
+// attempt retries the pool as a unit.
+func (d *drive) driveSteal(ctx context.Context) error {
+	finished := make([]bool, d.opts.Shards)
+	for attempt := 0; ; attempt++ {
+		err := d.runStealAttempt(ctx, attempt, finished)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var term terminalError
+		if errors.As(err, &term) {
+			return term.err
+		}
+		if attempt >= d.opts.Retries {
+			return fmt.Errorf("driver: steal pool failed after %d attempt(s): %w", attempt+1, err)
+		}
+		for s, ok := range finished {
+			if !ok {
+				d.emit(Event{Shard: s, Kind: EventRetry, Total: d.localCells(s), Attempt: attempt, Err: err})
+			}
+		}
+	}
+}
+
+// finishShard writes shard s's completed artifact (through the chaos
+// artifact-fault seam), drops its checkpoint, and announces the shard
+// done — the steal-side mirror of runInProcess's tail.
+func (d *drive) finishShard(s, attempt int, cks []*campaign.Checkpointer, finished []bool, locals []int) error {
+	chaos := d.opts.Chaos
+	var fp campaign.FaultPoint
+	if chaos != nil && chaos.ArtifactFault != nil {
+		fp = func(data []byte) *campaign.Fault {
+			return chaos.ArtifactFault(s, attempt, data)
+		}
+	}
+	if err := cks[s].Summary().WriteWithFault(ArtifactPath(d.opts.Dir, s), fp); err != nil {
+		return err
+	}
+	if err := cks[s].Remove(); err != nil {
+		return err
+	}
+	finished[s] = true
+	d.emit(Event{Shard: s, Kind: EventShardDone, Done: locals[s], Total: locals[s], Attempt: attempt})
+	return nil
+}
+
+// runStealAttempt is one pool launch: per-shard setup exactly as
+// runShard would do it (completeness check, checkpoint resume, chaos
+// arming, EventStart), then workers computing stolen cells concurrently
+// while the fold stage lands them in grid order.
+func (d *drive) runStealAttempt(ctx context.Context, attempt int, finished []bool) error {
+	k := d.opts.Shards
+	chaos := d.opts.Chaos
+	grid, err := runner.NewGrid(d.spec.Points, d.spec.Trials)
+	if err != nil {
+		return terminalError{err}
+	}
+
+	locals := make([]int, k)
+	cks := make([]*campaign.Checkpointer, k)
+	folded := make([]int, k) // cells folded into shard s so far (its next local index)
+	remaining := 0
+	for i := 0; i < k; i++ {
+		locals[i] = d.localCells(i)
+		if finished[i] {
+			folded[i] = locals[i]
+			continue
+		}
+		if d.opts.Resume || attempt > 0 {
+			complete, err := d.shardComplete(i, attempt, locals[i])
+			if err != nil {
+				// Foreign artifacts are deterministic refusals; retrying
+				// the pool would just replay them.
+				return terminalError{err}
+			}
+			if complete {
+				d.emit(Event{Shard: i, Kind: EventShardDone, Done: locals[i], Total: locals[i], Attempt: attempt})
+				finished[i] = true
+				folded[i] = locals[i]
+				continue
+			}
+		}
+		ck := campaign.NewCheckpointer(CheckpointPath(d.opts.Dir, i), d.shardTemplate(i), d.opts.CheckpointEvery)
+		ck.Schedule = string(ScheduleSteal)
+		if chaos != nil && chaos.CheckpointFault != nil {
+			shard := i
+			ck.Fault = func(data []byte) *campaign.Fault {
+				return chaos.CheckpointFault(shard, attempt, data)
+			}
+		}
+		if d.opts.Resume || attempt > 0 {
+			if _, err := ck.Resume(); err != nil {
+				return terminalError{err} // foreign/corrupt checkpoint: retrying replays it
+			}
+		}
+		if chaos != nil && chaos.Arm != nil {
+			chaos.Arm(i, attempt, ck.Done(), locals[i])
+		}
+		d.emit(Event{Shard: i, Kind: EventStart, Done: ck.Done(), Total: locals[i], Attempt: attempt})
+		cks[i] = ck
+		folded[i] = ck.Done()
+		remaining += locals[i] - ck.Done()
+		if ck.Done() == locals[i] {
+			// An empty slice, or a resumed prefix that already covers it:
+			// nothing for the pool to compute, finalize on the spot.
+			if err := d.finishShard(i, attempt, cks, finished, locals); err != nil {
+				return err
+			}
+		}
+	}
+	if remaining == 0 {
+		return nil
+	}
+
+	// Workers read these snapshots while the fold loop advances folded
+	// and finished; freeze the launch-time view so the skip predicate
+	// races with nothing.
+	resumed := make([]int, k)
+	copy(resumed, folded)
+	skipShard := make([]bool, k)
+	copy(skipShard, finished)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers := k * d.opts.Workers
+	sched := newStealScheduler(grid.Total(), workers)
+	results := make(chan cellResult, workers)
+
+	// The failure at the lowest grid index names the attempt — a
+	// deterministic pick, whatever order the pool hit failures in.
+	var failMu sync.Mutex
+	failG, failErr := 0, error(nil)
+	fail := func(g int, err error) {
+		failMu.Lock()
+		if failErr == nil || g < failG {
+			failG, failErr = g, err
+		}
+		failMu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ex := sim.NewExecutor()
+			for {
+				g, ok := sched.claim(w)
+				if !ok || runCtx.Err() != nil {
+					return
+				}
+				s := g % k
+				if skipShard[s] || g/k < resumed[s] {
+					continue // already folded into shard s before this attempt
+				}
+				m, err := grid.RunCell(runCtx.Done(), ex, g)
+				if err != nil {
+					if runCtx.Err() == nil {
+						fail(g, err)
+					}
+					return
+				}
+				// CellHook runs on the computing worker — its delays skew
+				// who is fast, which is the seam the steal tests lean on —
+				// with done as the cell's 1-based index in its shard's
+				// slice, matching the static path's post-cell position.
+				if hook := d.opts.CellHook; hook != nil {
+					if err := hook(s, attempt, g/k+1); err != nil {
+						fail(g, err)
+						return
+					}
+				}
+				select {
+				case results <- cellResult{g: g, m: m}:
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}(w)
+	}
+
+	// The fold stage: land results in ascending-g order per shard. A
+	// cell arriving early waits in pending until its shard's slice
+	// reaches it. chaos.Cell fires here, after the fold, so fault
+	// ordinals count folded cells — deterministic per shard — not the
+	// racy compute order. A fold-side failure (a checkpoint fault, an
+	// injected crash, an artifact write error) stops only its own shard
+	// — the steal analog of the static fleet's chaos-implied KeepGoing:
+	// every other shard still reaches all of its own fault points, so a
+	// seeded schedule plays out the same way on every run.
+	pending := make(map[int]sim.Metrics, workers)
+	shardErrs := make([]error, k) // first fold-side failure per shard
+	failShard := func(s int, err error) {
+		shardErrs[s] = err
+		remaining -= locals[s] - folded[s]
+	}
+fold:
+	for remaining > 0 {
+		select {
+		case r := <-results:
+			s := r.g % k
+			if shardErrs[s] != nil {
+				continue // the shard already failed; drop its stragglers
+			}
+			pending[r.g] = r.m
+			for {
+				g := s + folded[s]*k
+				m, ok := pending[g]
+				if !ok {
+					break
+				}
+				delete(pending, g)
+				p, t := grid.Split(g)
+				if err := cks[s].Add(p, t, m); err != nil {
+					failShard(s, err)
+					break
+				}
+				folded[s]++
+				remaining--
+				d.emit(Event{Shard: s, Kind: EventCell, Done: cks[s].Done(), Total: locals[s], Attempt: attempt})
+				if chaos != nil && chaos.Cell != nil {
+					if err := chaos.Cell(runCtx, s, attempt, cks[s].Done()); err != nil {
+						failShard(s, err)
+						break
+					}
+				}
+				if cks[s].Done() == locals[s] {
+					if err := d.finishShard(s, attempt, cks, finished, locals); err != nil {
+						failShard(s, err)
+					}
+					break
+				}
+			}
+		case <-runCtx.Done():
+			break fold
+		}
+	}
+	cancel()
+	wg.Wait()
+
+	// The lowest-index failed shard names the attempt — the same
+	// deterministic pick as the static fleet — then compute-side
+	// failures, then cancellation.
+	err = nil
+	for _, serr := range shardErrs {
+		if serr != nil {
+			err = serr
+			break
+		}
+	}
+	if err == nil {
+		failMu.Lock()
+		err = failErr
+		failMu.Unlock()
+	}
+	if err == nil && ctx.Err() != nil {
+		err = ctx.Err()
+	}
+	if err == nil && remaining > 0 {
+		err = fmt.Errorf("driver: steal pool stopped with %d cell(s) unfolded", remaining)
+	}
+	if err != nil {
+		// Mirror runInProcess's rescue flush: the checkpoints keep every
+		// folded cell; flush any tail the throttle was still holding. A
+		// shard whose own failure was an injected fault simulates dying
+		// on the spot, so it gets no rescue flush — and neither does any
+		// shard when the whole pool's failure is the injected one.
+		for s, ck := range cks {
+			if ck == nil || finished[s] || ck.Done() == 0 {
+				continue
+			}
+			cause := shardErrs[s]
+			if cause == nil {
+				cause = err
+			}
+			if !errors.Is(cause, ErrInjected) {
+				_ = ck.Flush()
+			}
+		}
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package runner
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"multicast/internal/sim"
+)
+
+// Grid.RunCell is the cell-granular entry point schedulers build on: a
+// cell run alone must be bit-identical to the same cell delivered by
+// RunSweep, for every cell of the grid — otherwise a scheduler that
+// hands out cells one at a time (the driver's work-stealing pool) would
+// diverge from the static layout.
+func TestGridRunCellMatchesSweep(t *testing.T) {
+	points := sweepPoints()
+	const trials = 3
+	grid, err := NewGrid(points, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Total() != len(points)*trials {
+		t.Fatalf("Total() = %d, want %d", grid.Total(), len(points)*trials)
+	}
+
+	want := make([]sim.Metrics, grid.Total())
+	err = RunSweep(context.Background(), points, SweepPlan{Trials: trials, Workers: 2},
+		func(p, tr int, m sim.Metrics) error {
+			want[p*trials+tr] = m
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ex := sim.NewExecutor()
+	// Walk the cells in a scrambled order: cell identity must not depend
+	// on execution order or on which executor ran the previous cell.
+	for off := grid.Total() - 1; off >= 0; off-- {
+		g := (off * 5) % grid.Total() // 5 ⊥ 9: a permutation of the grid
+		m, err := grid.RunCell(nil, ex, g)
+		if err != nil {
+			t.Fatalf("cell %d: %v", g, err)
+		}
+		if m != want[g] {
+			t.Errorf("cell %d: RunCell %+v != sweep %+v", g, m, want[g])
+		}
+		p, tr := grid.Split(g)
+		if p != g/trials || tr != g%trials {
+			t.Errorf("Split(%d) = (%d,%d), want (%d,%d)", g, p, tr, g/trials, g%trials)
+		}
+		if got, want := grid.Seed(g), points[p].Seed+uint64(tr); got != want {
+			t.Errorf("Seed(%d) = %d, want %d", g, got, want)
+		}
+	}
+}
+
+// NewGrid guards the same shapes RunSweep refuses.
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(nil, 3); err == nil || !strings.Contains(err.Error(), "at least one point") {
+		t.Errorf("nil points: err = %v", err)
+	}
+	if _, err := NewGrid(sweepPoints(), 0); err == nil || !strings.Contains(err.Error(), "must be positive") {
+		t.Errorf("zero trials: err = %v", err)
+	}
+	if _, err := NewGrid(sweepPoints(), int(^uint(0)>>1)); err == nil || !strings.Contains(err.Error(), "overflows") {
+		t.Errorf("overflow: err = %v", err)
+	}
+}
+
+// A failing cell names itself: global index, point, trial, and seed.
+func TestGridRunCellErrorNamesCell(t *testing.T) {
+	points := sweepPoints()
+	grid, err := NewGrid(points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupt := make(chan struct{})
+	close(interrupt) // every execution aborts immediately
+	_, err = grid.RunCell(interrupt, sim.NewExecutor(), 3)
+	if err == nil || !strings.Contains(err.Error(), "cell 3 (point 1 trial 1") {
+		t.Errorf("err = %v, want the cell named", err)
+	}
+}

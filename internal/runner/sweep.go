@@ -3,7 +3,6 @@ package runner
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"multicast/internal/sim"
 )
@@ -52,32 +51,23 @@ type SweepSink func(point, trial int, m sim.Metrics) error
 // point and trial) aborts the sweep, queued cells never start, and
 // in-flight executions are interrupted.
 func RunSweep(ctx context.Context, points []sim.Config, plan SweepPlan, sink SweepSink) error {
-	if len(points) == 0 {
-		return fmt.Errorf("runner: sweep needs at least one point")
+	grid, err := NewGrid(points, plan.Trials)
+	if err != nil {
+		return err
 	}
-	if plan.Trials <= 0 {
-		return fmt.Errorf("runner: trials per point = %d must be positive", plan.Trials)
-	}
-	if plan.Trials > math.MaxInt/len(points) {
-		return fmt.Errorf("runner: sweep grid %d×%d overflows", len(points), plan.Trials)
-	}
-	total := len(points) * plan.Trials
-	return runGrid(ctx, total, plan.Shard, plan.Skip, plan.Workers,
+	return runGrid(ctx, grid.Total(), plan.Shard, plan.Skip, plan.Workers,
 		func(done <-chan struct{}, exec *sim.Executor, g int) result {
-			c := points[g/plan.Trials]
-			c.Interrupt = done
-			c.Seed += uint64(g % plan.Trials)
-			m, err := exec.Run(c)
+			m, err := grid.run(done, exec, g)
 			return result{m: m, err: err}
 		},
 		func(g int, r result) error {
-			p, t := g/plan.Trials, g%plan.Trials
+			p, t := grid.Split(g)
 			if r.err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
 				return fmt.Errorf("runner: sweep point %d trial %d (seed %d): %w",
-					p, t, points[p].Seed+uint64(t), r.err)
+					p, t, grid.Seed(g), r.err)
 			}
 			return sink(p, t, r.m)
 		})
