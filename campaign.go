@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"multicast/internal/cache"
 	"multicast/internal/campaign"
 	"multicast/internal/chaos"
 	"multicast/internal/driver"
@@ -45,6 +46,15 @@ const (
 	// CampaignShardDiscard: a corrupt or misdelivered shard artifact was
 	// deleted and its shard re-runs (Err carries the reason).
 	CampaignShardDiscard = driver.EventDiscard
+)
+
+// CampaignEvent.Cache values on CampaignShardCell events of a campaign
+// running with CampaignPlan.CacheDir (empty otherwise).
+const (
+	// CampaignCellCacheHit: the cell's result was replayed from the cache.
+	CampaignCellCacheHit = driver.CacheHit
+	// CampaignCellCacheMiss: the cell was simulated (and its result stored).
+	CampaignCellCacheMiss = driver.CacheMiss
 )
 
 // CampaignSchedule picks how a driven campaign's grid cells are
@@ -147,7 +157,18 @@ type CampaignPlan struct {
 	// expanded points of RunScenarioCampaign (identical results, like
 	// Engine). RunCampaign ignores it — Config.NodeWorkers governs there.
 	NodeWorkers int
-	// Progress, if non-nil, receives per-shard events.
+	// CacheDir, if non-empty, roots a content-addressed cell result
+	// cache there (created if needed): every grid cell is looked up by
+	// the sha256 of its identity (point workload, label, cell seed,
+	// schema versions) before it is simulated, hits replay the stored
+	// metrics, and misses store theirs back. Artifacts and the merged
+	// summary are byte-identical with or without a cache — a damaged
+	// entry reads as a miss, never as data — so overlapping campaigns
+	// (re-runs, widened sweeps, added trials) only ever simulate new
+	// cells. Discard the directory when SummarySchemaVersion bumps.
+	CacheDir string
+	// Progress, if non-nil, receives per-shard events. With CacheDir
+	// set, CampaignShardCell events carry Cache = "hit" | "miss".
 	Progress func(CampaignEvent)
 	// Chaos, if non-nil, injects the given seeded fault schedule into
 	// the run (tests and drills only). Implies keep-going supervision:
@@ -156,7 +177,7 @@ type CampaignPlan struct {
 	Chaos *ChaosInjector
 }
 
-func (p CampaignPlan) driverOptions() driver.Options {
+func (p CampaignPlan) driverOptions() (driver.Options, error) {
 	o := driver.Options{
 		Shards:          max(p.Shards, 1),
 		Schedule:        p.Schedule,
@@ -167,10 +188,17 @@ func (p CampaignPlan) driverOptions() driver.Options {
 		CheckpointEvery: p.CheckpointEvery,
 		Progress:        p.Progress,
 	}
+	if p.CacheDir != "" {
+		store, err := cache.Open(p.CacheDir)
+		if err != nil {
+			return driver.Options{}, err
+		}
+		o.Cache = store
+	}
 	if p.Chaos != nil {
 		o.Chaos = p.Chaos.Hooks()
 	}
-	return o
+	return o, nil
 }
 
 // RunCampaign drives a single-workload campaign: Trials independently
@@ -187,11 +215,15 @@ func RunCampaign(ctx context.Context, cfg Config, plan CampaignPlan) (*Summary, 
 		return nil, err
 	}
 	tmpl := NewSummary(cfg, plan.Trials)
+	opts, err := plan.driverOptions()
+	if err != nil {
+		return nil, err
+	}
 	return driver.Run(ctx, driver.Spec{
 		Template: tmpl,
 		Points:   []sim.Config{sc},
 		Trials:   plan.Trials,
-	}, plan.driverOptions())
+	}, opts)
 }
 
 // RunScenarioCampaign drives a scenario sweep as one campaign: the
@@ -215,11 +247,15 @@ func RunScenarioCampaign(ctx context.Context, scen Scenario, opts ScenarioOption
 		sims[i] = sc
 	}
 	tmpl := NewScenarioSummary(scen, opts.Seed, plan.Trials, points)
+	dopts, err := plan.driverOptions()
+	if err != nil {
+		return nil, err
+	}
 	return driver.Run(ctx, driver.Spec{
 		Template: tmpl,
 		Points:   sims,
 		Trials:   plan.Trials,
-	}, plan.driverOptions())
+	}, dopts)
 }
 
 // NewSummary returns the empty, unsharded artifact skeleton of a

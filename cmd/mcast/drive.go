@@ -28,6 +28,7 @@ type driveFlags struct {
 	ckptEvery    int
 	engine       multicast.Engine
 	nodeWorkers  int
+	cacheDir     string
 	crashAfter   int
 	sumOut       string
 	chaos        *multicast.ChaosInjector
@@ -61,24 +62,61 @@ func (f driveFlags) plan(trials int, progress func(multicast.CampaignEvent)) mul
 		CheckpointEvery: f.ckptEvery,
 		Engine:          f.engine,
 		NodeWorkers:     f.nodeWorkers,
+		CacheDir:        f.cacheDir,
 		Progress:        progress,
 		Chaos:           f.chaos,
 	}
+}
+
+// cacheTally accumulates the per-cell cache annotations of a driven
+// campaign's progress stream into the banner totals. Events are
+// delivered serially, so plain counters suffice; a nil tally (no
+// -cache-dir) counts and prints nothing.
+type cacheTally struct {
+	hits, misses int64
+}
+
+func (t *cacheTally) count(ev multicast.CampaignEvent) {
+	if t == nil || ev.Kind != multicast.CampaignShardCell {
+		return
+	}
+	switch ev.Cache {
+	case multicast.CampaignCellCacheHit:
+		t.hits++
+	case multicast.CampaignCellCacheMiss:
+		t.misses++
+	}
+}
+
+func (t *cacheTally) report(w io.Writer) {
+	if t == nil {
+		return
+	}
+	fmt.Fprintf(w, "cache: %d hit(s), %d miss(es) — %d cell(s) replayed instead of simulated\n",
+		t.hits, t.misses, t.hits)
 }
 
 // driveProgress builds the campaign's progress callback: the human
 // printer on stderr plus, with -progress-json, a JSON-lines encoder
 // (one compact object per event — the driver delivers events serially,
 // so no locking is needed here). It returns the callback, a close
-// func for the JSON sink, and the writer finishDrive must print the
-// human report to: stderr when "-" hands stdout to the event stream,
-// stdout otherwise.
-func driveProgress(f driveFlags) (cb func(multicast.CampaignEvent), closeSink func() error, report io.Writer, err error) {
+// func for the JSON sink, the writer finishDrive must print the
+// human report to (stderr when "-" hands stdout to the event stream,
+// stdout otherwise), and — with -cache-dir — the hit/miss tally the
+// banner reports.
+func driveProgress(f driveFlags) (cb func(multicast.CampaignEvent), closeSink func() error, report io.Writer, tally *cacheTally, err error) {
 	human := progressPrinter(f.crashAfter)
+	if f.cacheDir != "" {
+		tally = &cacheTally{}
+	}
+	base := func(ev multicast.CampaignEvent) {
+		tally.count(ev)
+		human(ev)
+	}
 	closeSink = func() error { return nil }
 	report = os.Stdout
 	if f.progressJSON == "" {
-		return human, closeSink, report, nil
+		return base, closeSink, report, tally, nil
 	}
 	sink := io.Writer(os.Stdout)
 	if f.progressJSON == "-" {
@@ -86,18 +124,18 @@ func driveProgress(f driveFlags) (cb func(multicast.CampaignEvent), closeSink fu
 	} else {
 		file, err := os.Create(f.progressJSON)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		sink, closeSink = file, file.Close
 	}
 	enc := json.NewEncoder(sink)
 	cb = func(ev multicast.CampaignEvent) {
-		human(ev)
+		base(ev)
 		if err := enc.Encode(ev); err != nil {
 			fmt.Fprintf(os.Stderr, "mcast: -progress-json: %v\n", err)
 		}
 	}
-	return cb, closeSink, report, nil
+	return cb, closeSink, report, tally, nil
 }
 
 // progressPrinter renders per-shard progress lines to stderr (stdout
@@ -161,9 +199,13 @@ func writeChaosLog(f driveFlags) error {
 }
 
 // finishDrive prints and optionally persists the merged campaign
-// summary; w is stdout unless -progress-json - claimed it.
-func finishDrive(sum *multicast.Summary, sumOut string, w io.Writer) error {
-	fmt.Fprintf(w, "driven campaign complete: %s\n\n", indent(sum.Identity()))
+// summary; w is stdout unless -progress-json - claimed it. A non-nil
+// tally (-cache-dir campaigns) adds the cache hit/miss totals to the
+// banner.
+func finishDrive(sum *multicast.Summary, sumOut string, w io.Writer, tally *cacheTally) error {
+	fmt.Fprintf(w, "driven campaign complete: %s\n", indent(sum.Identity()))
+	tally.report(w)
+	fmt.Fprintln(w)
 	printCampaign(w, sum)
 	if sumOut != "" {
 		if err := sum.Write(sumOut); err != nil {
@@ -181,7 +223,7 @@ func driveSingle(ctx context.Context, cfg multicast.Config, trials int, f driveF
 		tmpl := singleSummary(cfg, trials, nil)
 		return driveExecCampaign(ctx, tmpl, trials, f)
 	}
-	progress, closeSink, report, err := driveProgress(f)
+	progress, closeSink, report, tally, err := driveProgress(f)
 	if err != nil {
 		return err
 	}
@@ -195,7 +237,7 @@ func driveSingle(ctx context.Context, cfg multicast.Config, trials int, f driveF
 	if err != nil {
 		return err
 	}
-	return finishDrive(sum, f.sumOut, report)
+	return finishDrive(sum, f.sumOut, report, tally)
 }
 
 // driveScenario supervises a scenario-sweep campaign with k shard
@@ -213,7 +255,7 @@ func driveScenario(ctx context.Context, name string, opts multicast.ScenarioOpti
 		tmpl := sweepSummary(scen, opts, points, trials, nil)
 		return driveExecCampaign(ctx, tmpl, trials, f)
 	}
-	progress, closeSink, report, err := driveProgress(f)
+	progress, closeSink, report, tally, err := driveProgress(f)
 	if err != nil {
 		return err
 	}
@@ -227,7 +269,7 @@ func driveScenario(ctx context.Context, name string, opts multicast.ScenarioOpti
 	if err != nil {
 		return err
 	}
-	return finishDrive(sum, f.sumOut, report)
+	return finishDrive(sum, f.sumOut, report, tally)
 }
 
 // driveExecCampaign drives the campaign with mcast subprocess workers:
@@ -251,7 +293,7 @@ func driveExecCampaign(ctx context.Context, tmpl *multicast.Summary, trials int,
 	if w, ok := childWorkers(flagWasSet("workers"), f.workers, f.shards, runtime.GOMAXPROCS(0)); ok {
 		base = append(base, fmt.Sprintf("-workers=%d", w))
 	}
-	progress, closeSink, report, err := driveProgress(f)
+	progress, closeSink, report, tally, err := driveProgress(f)
 	if err != nil {
 		return err
 	}
@@ -277,7 +319,7 @@ func driveExecCampaign(ctx context.Context, tmpl *multicast.Summary, trials int,
 	if err != nil {
 		return err
 	}
-	return finishDrive(sum, f.sumOut, report)
+	return finishDrive(sum, f.sumOut, report, tally)
 }
 
 // workerArgs rebuilds the explicitly set command-line flags a shard

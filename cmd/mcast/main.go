@@ -117,6 +117,7 @@ func main() {
 		campDir     = flag.String("campaign-dir", "", "with -drive: directory for shard artifacts and checkpoints (default: <summary-out>.campaign or mcast-campaign)")
 		retries     = flag.Int("retries", 1, "with -drive: relaunches per failed shard before the campaign fails")
 		ckptEvery   = flag.Int("checkpoint-every", 1, "with -drive: grid cells between checkpoint flushes (1 = maximum crash safety; raise it to cut checkpoint I/O on huge campaigns)")
+		cacheDir    = flag.String("cache-dir", "", "with -drive: content-addressed cell result cache directory (created if needed) — cells whose results are already cached replay instead of simulating, byte-identically; discard the directory when the summary schema version changes")
 		crashAfter  = flag.Int("crash-after", 0, "with -drive: legacy alias of the chaos harness — kill the whole process after this many grid cells (prefer -chaos-faults crash@…)")
 		chaosSeed   = flag.Uint64("chaos-seed", 1, "with -chaos-faults: seed resolving every choice a fault rule leaves open (shard, cell, cut offset, flipped bit)")
 		chaosFaults = flag.String("chaos-faults", "", "with -drive: inject seeded faults — comma-separated kind[@shard[:cell[:attempt]]] rules, * = seeded choice (kinds: crash|torn-flush|corrupt-checkpoint|truncate-artifact|bit-flip-artifact|duplicate-shard|stall)")
@@ -139,7 +140,7 @@ func main() {
 	}
 	if *drive == 0 {
 		for _, name := range []string{"drive-exec", "drive-schedule", "progress-json", "resume",
-			"campaign-dir", "retries", "checkpoint-every",
+			"campaign-dir", "retries", "checkpoint-every", "cache-dir",
 			"crash-after", "chaos-seed", "chaos-faults", "chaos-log"} {
 			if setFlags[name] {
 				fatal(fmt.Errorf("-%s requires -drive", name))
@@ -160,6 +161,11 @@ func main() {
 				if setFlags[name] {
 					fatal(fmt.Errorf("-%s has no effect with -drive-exec (subprocess workers restart from scratch)", name))
 				}
+			}
+			if setFlags["cache-dir"] {
+				// The cache seam lives in the in-process grid; children
+				// would simulate everything and the totals would lie.
+				fatal(fmt.Errorf("-cache-dir needs in-process shard workers (drop -drive-exec)"))
 			}
 		}
 		if *chaosFaults == "" && (setFlags["chaos-seed"] || setFlags["chaos-log"]) {
@@ -213,8 +219,9 @@ func main() {
 			"shard": true, "summary-out": true,
 			"timeout": true, "drive": true, "drive-exec": true, "drive-schedule": true,
 			"progress-json": true, "resume": true,
-			"campaign-dir": true, "retries": true, "checkpoint-every": true, "crash-after": true,
-			"chaos-seed": true, "chaos-faults": true, "chaos-log": true,
+			"campaign-dir": true, "retries": true, "checkpoint-every": true, "cache-dir": true,
+			"crash-after": true,
+			"chaos-seed":  true, "chaos-faults": true, "chaos-log": true,
 		}
 		for name := range setFlags {
 			if !scenFlags[name] {
@@ -238,8 +245,8 @@ func main() {
 				schedule: driveSchedule, progressJSON: *progJSON,
 				dir: campaignDir(*campDir, *sumOut), workers: *workers,
 				retries: *retries, ckptEvery: *ckptEvery, engine: engine,
-				nodeWorkers: *nodeWorkers,
-				crashAfter:  *crashAfter, sumOut: *sumOut,
+				nodeWorkers: *nodeWorkers, cacheDir: *cacheDir,
+				crashAfter: *crashAfter, sumOut: *sumOut,
 				chaos: chaosInj, chaosLog: *chaosLog,
 			})))
 			return
@@ -333,8 +340,8 @@ func main() {
 			schedule: driveSchedule, progressJSON: *progJSON,
 			dir: campaignDir(*campDir, *sumOut), workers: *workers,
 			retries: *retries, ckptEvery: *ckptEvery, engine: engine,
-			nodeWorkers: *nodeWorkers,
-			crashAfter:  *crashAfter, sumOut: *sumOut,
+			nodeWorkers: *nodeWorkers, cacheDir: *cacheDir,
+			crashAfter: *crashAfter, sumOut: *sumOut,
 			chaos: chaosInj, chaosLog: *chaosLog,
 		})))
 		return

@@ -71,25 +71,36 @@ type engineResult struct {
 	TrialsPassed  int     `json:"trials"`
 }
 
+// cacheBenchResult is the cold-vs-warm leg of the result cache: the
+// same driven campaign timed while simulating every cell (cold, filling
+// the cache) and while replaying every cell from it (warm).
+type cacheBenchResult struct {
+	Cells         int     `json:"cells"`
+	ColdSeconds   float64 `json:"cold_seconds"`
+	WarmSeconds   float64 `json:"warm_seconds"`
+	ReplaySpeedup float64 `json:"replay_speedup"`
+}
+
 // benchReport is the BENCH_sim.json schema. The parallel block measures
 // the large-n dense scenario serially and with the NodeWorkers fan-out;
 // its speedup is only comparable between machines with the same
 // GOMAXPROCS (the check mode skips it otherwise).
 type benchReport struct {
-	Benchmark        string         `json:"benchmark"`
-	Generated        string         `json:"generated"`
-	GoVersion        string         `json:"go_version"`
-	GOMAXPROCS       int            `json:"gomaxprocs"`
-	Scenario         map[string]any `json:"scenario"`
-	Dense            engineResult   `json:"dense"`
-	Sparse           engineResult   `json:"sparse"`
-	Event            *engineResult  `json:"event,omitempty"`
-	Speedup          float64        `json:"speedup"`
-	EventSpeedup     float64        `json:"event_speedup,omitempty"`
-	ParallelWorkers  int            `json:"parallel_workers,omitempty"`
-	ParallelBaseline *engineResult  `json:"parallel_baseline,omitempty"`
-	Parallel         *engineResult  `json:"parallel,omitempty"`
-	ParallelSpeedup  float64        `json:"parallel_speedup,omitempty"`
+	Benchmark        string            `json:"benchmark"`
+	Generated        string            `json:"generated"`
+	GoVersion        string            `json:"go_version"`
+	GOMAXPROCS       int               `json:"gomaxprocs"`
+	Scenario         map[string]any    `json:"scenario"`
+	Dense            engineResult      `json:"dense"`
+	Sparse           engineResult      `json:"sparse"`
+	Event            *engineResult     `json:"event,omitempty"`
+	Speedup          float64           `json:"speedup"`
+	EventSpeedup     float64           `json:"event_speedup,omitempty"`
+	ParallelWorkers  int               `json:"parallel_workers,omitempty"`
+	ParallelBaseline *engineResult     `json:"parallel_baseline,omitempty"`
+	Parallel         *engineResult     `json:"parallel,omitempty"`
+	ParallelSpeedup  float64           `json:"parallel_speedup,omitempty"`
+	Cache            *cacheBenchResult `json:"cache,omitempty"`
 }
 
 // runEngine executes the scenario's trials serially on one engine so the
@@ -148,6 +159,58 @@ func resolveParallelWorkers(parallel int) int {
 	return max(2, runtime.GOMAXPROCS(0))
 }
 
+// runCacheBench times the fixed scenario as a driven campaign twice
+// over one result cache: cold (every cell simulated and stored) and
+// warm, into a fresh campaign directory (every cell replayed). The
+// ratio is the cache's replay speedup. Any warm miss means the cache
+// plumbing is broken, so it is a hard error, not a smaller number.
+func runCacheBench(trials uint64) (*cacheBenchResult, error) {
+	cfg := benchScenario()
+	cfg.Seed = 1
+	cacheDir, err := os.MkdirTemp("", "mcbench-cache-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(cacheDir)
+	run := func() (secs float64, misses int64, err error) {
+		dir, err := os.MkdirTemp("", "mcbench-campaign-")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		start := time.Now()
+		_, err = multicast.RunCampaign(context.Background(), cfg, multicast.CampaignPlan{
+			Trials: int(trials), Shards: 1, Workers: 1, Dir: dir, CacheDir: cacheDir,
+			Progress: func(ev multicast.CampaignEvent) {
+				if ev.Kind == multicast.CampaignShardCell && ev.Cache == multicast.CampaignCellCacheMiss {
+					misses++
+				}
+			},
+		})
+		return time.Since(start).Seconds(), misses, err
+	}
+	cold, misses, err := run()
+	if err != nil {
+		return nil, err
+	}
+	if misses != int64(trials) {
+		return nil, fmt.Errorf("cache benchmark: cold run missed %d of %d cells — the cache was not empty", misses, trials)
+	}
+	warm, misses, err := run()
+	if err != nil {
+		return nil, err
+	}
+	if misses != 0 {
+		return nil, fmt.Errorf("cache benchmark: warm run re-simulated %d of %d cells", misses, trials)
+	}
+	return &cacheBenchResult{
+		Cells:         int(trials),
+		ColdSeconds:   cold,
+		WarmSeconds:   warm,
+		ReplaySpeedup: cold / warm,
+	}, nil
+}
+
 // runEngineBench measures dense vs sparse vs event slots/sec on the
 // fixed scenario, plus the NodeWorkers fan-out on the large-n dense
 // scenario, and writes the JSON report to path. All three engines must
@@ -196,6 +259,10 @@ func runEngineBench(path string, quick bool, parallel int) error {
 		return fmt.Errorf("NodeWorkers divergence: serial ran %d slots (Eve %d), %d workers %d (Eve %d)",
 			pbase.Slots, pbase.EveCost, workers, ppar.Slots, ppar.EveCost)
 	}
+	cacheRes, err := runCacheBench(trials)
+	if err != nil {
+		return err
+	}
 	report := benchReport{
 		Benchmark:  "sim-engine-comparison",
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -220,6 +287,7 @@ func runEngineBench(path string, quick bool, parallel int) error {
 		ParallelBaseline: &pbase,
 		Parallel:         &ppar,
 		ParallelSpeedup:  ppar.SlotsPerSec / pbase.SlotsPerSec,
+		Cache:            cacheRes,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -234,5 +302,7 @@ func runEngineBench(path string, quick bool, parallel int) error {
 		event.SlotsPerSec, report.EventSpeedup, path)
 	fmt.Printf("parallel (n=%d dense, %d workers): serial %.0f slots/s, parallel %.0f slots/s (%.2fx)\n",
 		benchParallelScenario().N, workers, pbase.SlotsPerSec, ppar.SlotsPerSec, report.ParallelSpeedup)
+	fmt.Printf("cache (%d cells): cold %.3fs, warm replay %.3fs (%.1fx)\n",
+		cacheRes.Cells, cacheRes.ColdSeconds, cacheRes.WarmSeconds, cacheRes.ReplaySpeedup)
 	return nil
 }

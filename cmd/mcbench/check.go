@@ -132,22 +132,40 @@ func runEngineCheck(path string, quick bool, tolerance float64) error {
 	}
 
 	if committed.Parallel != nil && committed.ParallelBaseline != nil && committed.ParallelSpeedup > 0 {
+		// Measure the fan-out legs unconditionally: allocation counts are
+		// deterministic per (workload, fan-out width), so the parallel
+		// allocs/slot gates on every machine — the committed worker count
+		// keeps the widths comparable — even where the speedup ratio
+		// below must be skipped.
+		workers := committed.ParallelWorkers
+		if workers < 2 {
+			workers = resolveParallelWorkers(0)
+		}
+		pbase, err := runEngine(benchParallelScenario(), multicast.EngineDense, 1, ptrials)
+		if err != nil {
+			return err
+		}
+		ppar, err := runEngine(benchParallelScenario(), multicast.EngineDense, workers, ptrials)
+		if err != nil {
+			return err
+		}
+		for _, c := range []struct {
+			name      string
+			got, base float64
+		}{
+			{"allocs/slot par-base", pbase.AllocsPerSlot, committed.ParallelBaseline.AllocsPerSlot},
+			{"allocs/slot parallel", ppar.AllocsPerSlot, committed.Parallel.AllocsPerSlot},
+		} {
+			if c.base == 0 && c.got > 0 {
+				skip(c.name, fmt.Sprintf("measured %.3f but committed report has no alloc baseline", c.got))
+				continue
+			}
+			check(c.name, c.got, c.base, c.base+0.5, c.got <= c.base+0.5)
+		}
 		if g := runtime.GOMAXPROCS(0); g != committed.GOMAXPROCS {
 			// Fan-out ratios are not comparable across core counts.
 			skip("parallel speedup", fmt.Sprintf("gomaxprocs %d != %d", g, committed.GOMAXPROCS))
 		} else {
-			workers := committed.ParallelWorkers
-			if workers < 2 {
-				workers = resolveParallelWorkers(0)
-			}
-			pbase, err := runEngine(benchParallelScenario(), multicast.EngineDense, 1, ptrials)
-			if err != nil {
-				return err
-			}
-			ppar, err := runEngine(benchParallelScenario(), multicast.EngineDense, workers, ptrials)
-			if err != nil {
-				return err
-			}
 			pspeed := ppar.SlotsPerSec / pbase.SlotsPerSec
 			check("parallel speedup", pspeed, committed.ParallelSpeedup,
 				tolerance*committed.ParallelSpeedup, pspeed >= tolerance*committed.ParallelSpeedup)

@@ -2,7 +2,8 @@ package chaos
 
 // The headline chaos deliverables: TestChaosRecoveryMatrix pins, for
 // every fault class at k ∈ {1, 3} under both the static and the
-// work-stealing schedule, that a resumed or retried campaign merges
+// work-stealing schedule — with and without a pre-warmed, deliberately
+// tampered result cache — that a resumed or retried campaign merges
 // byte-identically to the unsharded run and that replaying the same
 // schedule yields an identical fault event log; FuzzChaosSchedule
 // holds the same invariant under randomized seeded schedules, with the
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"multicast/internal/adversary"
+	"multicast/internal/cache"
 	"multicast/internal/campaign"
 	"multicast/internal/core"
 	"multicast/internal/driver"
@@ -146,6 +148,42 @@ func assertSameStats(t testing.TB, got, want *campaign.Summary) {
 			t.Errorf("point %d: invariant counts diverge", p)
 		}
 	}
+}
+
+// warmTamperedCache returns a result cache pre-warmed by a clean k-way
+// driven run and then damaged — one entry truncated mid-file — the
+// shape a faulted campaign meets in the field: mostly replayable,
+// partly broken. With cached false it returns nil, the matrix's
+// cache-free column.
+func warmTamperedCache(t *testing.T, k int, cached bool) *cache.Store {
+	t.Helper()
+	if !cached {
+		return nil
+	}
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	if _, err := driver.Run(context.Background(), spec, driver.Options{
+		Shards: k, Workers: 2, Dir: t.TempDir(), Cache: store,
+	}); err != nil {
+		t.Fatalf("cache warm-up run: %v", err)
+	}
+	grid, err := runner.NewGrid(spec.Points, spec.Trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := cache.Key(spec.Template.Points[0].Label, spec.Template.Points[0].Workload, grid.Seed(0))
+	path := store.EntryPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return store
 }
 
 func wantNil(t *testing.T, k int, err error) {
@@ -286,68 +324,77 @@ func TestChaosRecoveryMatrix(t *testing.T) {
 			// reuses the static cleanDrivenBytes reference, so it also
 			// re-pins that stealing never changes a merged artifact.
 			for _, schedule := range []driver.Schedule{driver.ScheduleStatic, driver.ScheduleSteal} {
-				t.Run(fmt.Sprintf("%s/k=%d/%s", row.name, k, schedule), func(t *testing.T) {
-					shard := 0
-					if k > 1 {
-						shard = 1
-					}
-					plan := Plan{Seed: 7, Faults: row.faults(shard, k)}
-					run := func(dir string) (*campaign.Summary, []Event, error) {
-						inj, err := New(plan)
-						if err != nil {
-							t.Fatal(err)
+				// The cache column replays every fault class over a
+				// pre-warmed result cache with one entry deliberately
+				// tampered: cells replay instead of simulating (and one
+				// re-simulates through the damage), yet the recovered
+				// artifact must stay byte-identical to the cache-free run.
+				for _, cached := range []bool{false, true} {
+					t.Run(fmt.Sprintf("%s/k=%d/%s/cache=%v", row.name, k, schedule, cached), func(t *testing.T) {
+						shard := 0
+						if k > 1 {
+							shard = 1
 						}
-						ctx := context.Background()
-						if row.timeout > 0 {
-							var cancel context.CancelFunc
-							ctx, cancel = context.WithTimeout(ctx, row.timeout)
-							defer cancel()
+						store := warmTamperedCache(t, k, cached)
+						plan := Plan{Seed: 7, Faults: row.faults(shard, k)}
+						run := func(dir string) (*campaign.Summary, []Event, error) {
+							inj, err := New(plan)
+							if err != nil {
+								t.Fatal(err)
+							}
+							ctx := context.Background()
+							if row.timeout > 0 {
+								var cancel context.CancelFunc
+								ctx, cancel = context.WithTimeout(ctx, row.timeout)
+								defer cancel()
+							}
+							sum, err := driver.Run(ctx, testSpec(), driver.Options{
+								Shards: k, Workers: 2, Dir: dir, Retries: row.retries,
+								Schedule: schedule, Chaos: inj.Hooks(), Cache: store,
+							})
+							return sum, inj.Events(), err
 						}
-						sum, err := driver.Run(ctx, testSpec(), driver.Options{
-							Shards: k, Workers: 2, Dir: dir, Retries: row.retries,
-							Schedule: schedule, Chaos: inj.Hooks(),
-						})
-						return sum, inj.Events(), err
-					}
 
-					dir := t.TempDir()
-					sum, ev1, err1 := run(dir)
-					// Replay the schedule in a fresh directory: the fault log —
-					// and the outcome — must be identical.
-					_, ev2, err2 := run(t.TempDir())
-					if !reflect.DeepEqual(ev1, ev2) {
-						t.Errorf("fault logs diverge between identical runs:\n 1: %+v\n 2: %+v", ev1, ev2)
-					}
-					if (err1 == nil) != (err2 == nil) {
-						t.Errorf("outcomes diverge between identical runs: %v vs %v", err1, err2)
-					}
-					wantEvents := 1
-					if row.name == "duplicate-shard" && k == 1 {
-						wantEvents = 0
-					}
-					if len(ev1) != wantEvents {
-						t.Errorf("%d fault events, want %d: %+v", len(ev1), wantEvents, ev1)
-					}
-					row.check(t, k, err1)
+						dir := t.TempDir()
+						sum, ev1, err1 := run(dir)
+						// Replay the schedule in a fresh directory: the fault log —
+						// and the outcome — must be identical.
+						_, ev2, err2 := run(t.TempDir())
+						if !reflect.DeepEqual(ev1, ev2) {
+							t.Errorf("fault logs diverge between identical runs:\n 1: %+v\n 2: %+v", ev1, ev2)
+						}
+						if (err1 == nil) != (err2 == nil) {
+							t.Errorf("outcomes diverge between identical runs: %v vs %v", err1, err2)
+						}
+						wantEvents := 1
+						if row.name == "duplicate-shard" && k == 1 {
+							wantEvents = 0
+						}
+						if len(ev1) != wantEvents {
+							t.Errorf("%d fault events, want %d: %+v", len(ev1), wantEvents, ev1)
+						}
+						row.check(t, k, err1)
 
-					if err1 != nil {
-						if row.drill != nil {
-							row.drill(t, dir, shard)
+						if err1 != nil {
+							if row.drill != nil {
+								row.drill(t, dir, shard)
+							}
+							var rerr error
+							sum, rerr = driver.Run(context.Background(), testSpec(), driver.Options{
+								Shards: k, Workers: 2, Dir: dir, Resume: true, Schedule: schedule,
+								Cache: store,
+							})
+							if rerr != nil {
+								t.Fatalf("recovery resume: %v", rerr)
+							}
 						}
-						var rerr error
-						sum, rerr = driver.Run(context.Background(), testSpec(), driver.Options{
-							Shards: k, Workers: 2, Dir: dir, Resume: true, Schedule: schedule,
-						})
-						if rerr != nil {
-							t.Fatalf("recovery resume: %v", rerr)
+						if got := summaryBytes(t, sum); !bytes.Equal(got, cleanDrivenBytes(t, k)) {
+							t.Errorf("recovered merged artifact is not byte-identical to a fault-free k=%d run (%d vs %d bytes)",
+								k, len(got), len(cleanDrivenBytes(t, k)))
 						}
-					}
-					if got := summaryBytes(t, sum); !bytes.Equal(got, cleanDrivenBytes(t, k)) {
-						t.Errorf("recovered merged artifact is not byte-identical to a fault-free k=%d run (%d vs %d bytes)",
-							k, len(got), len(cleanDrivenBytes(t, k)))
-					}
-					assertSameStats(t, sum, want)
-				})
+						assertSameStats(t, sum, want)
+					})
+				}
 			}
 		}
 	}

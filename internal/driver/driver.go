@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"sync"
 
+	"multicast/internal/cache"
 	"multicast/internal/campaign"
 	"multicast/internal/runner"
 	"multicast/internal/sim"
@@ -98,6 +99,14 @@ type Options struct {
 	// `artifact` (atomically — campaign.Summary.Write does). The driver
 	// validates the artifact after the child exits.
 	Spawn func(ctx context.Context, shard, shards int, artifact string) *exec.Cmd
+	// Cache, if non-nil, is the content-addressed cell result cache:
+	// every grid cell is looked up before it is dispatched — under both
+	// schedules — and a hit flows into the fold exactly like a computed
+	// result, so artifacts, checkpoints, and the merged summary are
+	// byte-identical with or without it. Misses store their result back.
+	// Requires in-process workers (Spawn must be nil): subprocess
+	// children own their own execution and would bypass the seam.
+	Cache *cache.Store
 	// CellHook is a test seam: called after each checkpointed cell of an
 	// in-process shard; an error fails the shard attempt as if the
 	// worker had crashed there.
@@ -186,6 +195,9 @@ func Run(ctx context.Context, spec Spec, opts Options) (*campaign.Summary, error
 	if sched == ScheduleSteal && opts.Spawn != nil {
 		return nil, fmt.Errorf("driver: schedule %q needs in-process workers, not Spawn subprocesses", ScheduleSteal)
 	}
+	if opts.Cache != nil && opts.Spawn != nil {
+		return nil, fmt.Errorf("driver: the result cache needs in-process workers, not Spawn subprocesses")
+	}
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("driver: campaign directory required (it is the resume state)")
 	}
@@ -206,6 +218,13 @@ func Run(ctx context.Context, spec Spec, opts Options) (*campaign.Summary, error
 	d := &drive{spec: spec, opts: opts, total: len(spec.Template.Points) * spec.Trials}
 	if d.opts.Workers == 0 && d.opts.Spawn == nil {
 		d.opts.Workers = max(1, runtime.GOMAXPROCS(0)/opts.Shards)
+	}
+	if opts.Cache != nil {
+		grid, err := runner.NewGrid(spec.Points, spec.Trials)
+		if err != nil {
+			return nil, err
+		}
+		d.cache = newCellCache(opts.Cache, spec.Template, grid)
 	}
 	// Under chaos, sibling cancellation would make which fault points
 	// are reached depend on goroutine timing; keep the fleet going so a
@@ -277,7 +296,8 @@ func Run(ctx context.Context, spec Spec, opts Options) (*campaign.Summary, error
 type drive struct {
 	spec  Spec
 	opts  Options
-	total int // global grid cells
+	total int        // global grid cells
+	cache *cellCache // nil unless Options.Cache is set
 
 	mu sync.Mutex // serializes Progress callbacks
 }
@@ -423,16 +443,21 @@ func (d *drive) runInProcess(ctx context.Context, i, attempt, local int) error {
 		chaos.Arm(i, attempt, ck.Done(), local)
 	}
 	d.emit(Event{Shard: i, Kind: EventStart, Done: ck.Done(), Total: local, Attempt: attempt})
-	err := runner.RunSweep(ctx, d.spec.Points, runner.SweepPlan{
+	plan := runner.SweepPlan{
 		Trials:  d.spec.Trials,
 		Shard:   runner.Shard{Index: i, Count: d.opts.Shards},
 		Skip:    ck.Done(),
 		Workers: d.opts.Workers,
-	}, func(p, t int, m sim.Metrics) error {
+	}
+	if d.cache != nil {
+		plan.Cache = d.cache // guarded: a typed-nil adapter must not enable the seam
+	}
+	err := runner.RunSweep(ctx, d.spec.Points, plan, func(p, t int, m sim.Metrics) error {
 		if err := ck.Add(p, t, m); err != nil {
 			return err
 		}
-		d.emit(Event{Shard: i, Kind: EventCell, Done: ck.Done(), Total: local, Attempt: attempt})
+		d.emit(Event{Shard: i, Kind: EventCell, Done: ck.Done(), Total: local, Attempt: attempt,
+			Cache: d.cache.mark(p*d.spec.Trials + t)})
 		if d.opts.CellHook != nil {
 			if err := d.opts.CellHook(i, attempt, ck.Done()); err != nil {
 				return err

@@ -47,7 +47,19 @@ type Event struct {
 	// ErrText is Err's message, filled in by the driver as it emits the
 	// event — the JSON-safe image of Err.
 	ErrText string `json:"err,omitempty"`
+	// Cache annotates an EventCell when the campaign runs with a result
+	// cache: CacheHit for a cell replayed from the cache, CacheMiss for
+	// one that simulated (and stored its result). Empty — and absent
+	// from the JSON stream — when no cache is configured.
+	Cache string `json:"cache,omitempty"`
 }
+
+const (
+	// CacheHit marks a cell whose result was replayed from the cache.
+	CacheHit = "hit"
+	// CacheMiss marks a cell that was simulated.
+	CacheMiss = "miss"
+)
 
 // Schedule picks how a driven campaign's grid cells are distributed
 // over its workers.

@@ -149,6 +149,9 @@ func (d *drive) runStealAttempt(ctx context.Context, attempt int, finished []boo
 	if err != nil {
 		return terminalError{err}
 	}
+	if d.cache != nil {
+		grid.Cache = d.cache // guarded: a typed-nil adapter must not enable the seam
+	}
 
 	locals := make([]int, k)
 	cks := make([]*campaign.Checkpointer, k)
@@ -312,7 +315,8 @@ fold:
 				}
 				folded[s]++
 				remaining--
-				d.emit(Event{Shard: s, Kind: EventCell, Done: cks[s].Done(), Total: locals[s], Attempt: attempt})
+				d.emit(Event{Shard: s, Kind: EventCell, Done: cks[s].Done(), Total: locals[s], Attempt: attempt,
+					Cache: d.cache.mark(g)})
 				if chaos != nil && chaos.Cell != nil {
 					if err := chaos.Cell(runCtx, s, attempt, cks[s].Done()); err != nil {
 						failShard(s, err)

@@ -26,6 +26,11 @@ type SweepPlan struct {
 	Skip int
 	// Workers caps the worker pool; 0 means GOMAXPROCS.
 	Workers int
+	// Cache, when non-nil, is the grid's cell result cache (see
+	// Grid.Cache): hits skip the simulation, misses store their result
+	// back, and delivery order, seeds, and sink semantics are untouched
+	// either way.
+	Cache CellCache
 }
 
 // SweepSink consumes one grid cell's metrics. It is called from a single
@@ -55,6 +60,7 @@ func RunSweep(ctx context.Context, points []sim.Config, plan SweepPlan, sink Swe
 	if err != nil {
 		return err
 	}
+	grid.Cache = plan.Cache
 	return runGrid(ctx, grid.Total(), plan.Shard, plan.Skip, plan.Workers,
 		func(done <-chan struct{}, exec *sim.Executor, g int) result {
 			m, err := grid.run(done, exec, g)

@@ -65,14 +65,17 @@ type nodePool struct {
 	keepActive bool
 
 	parts []stepPart
-	wake  []chan struct{} // per-worker wake signal; closed to stop
+	wake  []chan struct{} // per-worker wake signal; a send with stop set joins
 	done  chan struct{}   // workers report phase completion here
+	stop  bool            // set (happens-before a wake send) to retire workers
 	wg    sync.WaitGroup
 }
 
 // startPool (re)creates the pool for this run and spawns its worker
-// goroutines. The stepPart buffers persist on the pool across runs of a
-// recycled Executor; only the channels and goroutines are per-run.
+// goroutines. The stepPart buffers and the wake/done channels persist on
+// the pool across runs of a recycled Executor — rebuilding the channels
+// was the parallel path's dominant per-trial allocation — so only the
+// goroutines themselves are per-run.
 func (ex *execution) startPool() {
 	workers := min(ex.cfg.NodeWorkers, ex.cfg.N)
 	if ex.poolCache != nil {
@@ -88,32 +91,76 @@ func (ex *execution) startPool() {
 		p.parts = parts
 	}
 	p.parts = p.parts[:workers]
-	p.wake = make([]chan struct{}, workers)
-	p.done = make(chan struct{}, workers)
+	if cap(p.wake) < workers {
+		wake := make([]chan struct{}, workers)
+		copy(wake, p.wake)
+		p.wake = wake
+	}
+	p.wake = p.wake[:workers]
+	if p.done == nil || cap(p.done) < workers {
+		p.done = make(chan struct{}, workers)
+	}
+	// Pre-size every partition's effect buffers to the worst-case
+	// partition width in one shot: letting append grow them across early
+	// slots (and creep on each new high-water trial) was the parallel
+	// path's remaining allocation overhead at short-trial bench scale.
+	width := (ex.cfg.N + workers - 1) / workers
+	for w := range p.parts {
+		pt := &p.parts[w]
+		if cap(pt.bcasts) < width {
+			pt.bcasts = make([]pendingBroadcast, 0, width)
+		}
+		if cap(pt.listeners) < width {
+			pt.listeners = make([]int, 0, width)
+		}
+		if cap(pt.channels) < width {
+			pt.channels = make([]int, 0, width)
+		}
+		if cap(pt.trans) < width {
+			pt.trans = make([]transition, 0, width)
+		}
+		if cap(pt.keep) < width {
+			pt.keep = make([]int, 0, width)
+		}
+	}
 	for w := 1; w < workers; w++ {
-		p.wake[w] = make(chan struct{}, 1)
+		if p.wake[w] == nil {
+			p.wake[w] = make(chan struct{}, 1)
+		}
 		p.wg.Add(1)
-		go func(w int) {
-			defer p.wg.Done()
-			for range p.wake[w] {
-				p.runPart(w)
-				p.done <- struct{}{}
-			}
-		}(w)
+		go p.work(w)
 	}
 }
 
-// stopPool joins the worker goroutines. The pool struct (and its
-// buffers) stays on the execution for the next run.
+// work is the body of pool goroutine w ≥ 1. A method, not a closure:
+// `go p.work(w)` spawns without allocating a closure object per run.
+func (p *nodePool) work(w int) {
+	defer p.wg.Done()
+	for range p.wake[w] {
+		if p.stop {
+			return
+		}
+		p.runPart(w)
+		p.done <- struct{}{}
+	}
+}
+
+// stopPool joins the worker goroutines: the stop flag is published
+// happens-before the wake sends, so each worker observes it and returns
+// without touching done (which dispatch always drains, so it is empty
+// here). The pool struct — buffers and channels included — stays on the
+// execution for the next run.
 func (ex *execution) stopPool() {
 	p := ex.pool
 	if p == nil {
 		return
 	}
+	p.stop = true
 	for w := 1; w < p.workers; w++ {
-		close(p.wake[w])
+		p.wake[w] <- struct{}{}
 	}
 	p.wg.Wait()
+	p.stop = false
 	ex.pool = nil
 	ex.poolCache = p
 }
